@@ -1,0 +1,158 @@
+package nanoxbar_test
+
+import (
+	"io"
+	"testing"
+
+	"nanoxbar/internal/experiments"
+)
+
+// The benchmarks regenerate the paper's evaluation: one bench per
+// experiment of DESIGN.md §4. Key results are exported through
+// b.ReportMetric so `go test -bench . -benchmem` output is the record
+// EXPERIMENTS.md cites. Reports are discarded (written to io.Discard);
+// run cmd/repro to read the full tables.
+
+func BenchmarkE1TwoTerminalSizes(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E1TwoTerminalSizes()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["xnor2_diode_area"], "xnor2-diode-area")
+	b.ReportMetric(r.Metrics["xnor2_fet_area"], "xnor2-fet-area")
+}
+
+func BenchmarkE2FourTerminalVsTwoTerminal(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E2FourTerminalComparison()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["lattice_wins"], "lattice-wins")
+	b.ReportMetric(r.Metrics["total"], "functions")
+	b.ReportMetric(r.Metrics["mean_lat_area"], "mean-lattice-area")
+	b.ReportMetric(r.Metrics["mean_diode_area"], "mean-diode-area")
+}
+
+func BenchmarkE3Fig4Lattice(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E3Fig4()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["hand_area"], "hand-area")
+	b.ReportMetric(r.Metrics["dual_area"], "dual-method-area")
+}
+
+func BenchmarkE4PCircuit(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E4PCircuit()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["improved_exact"], "improved-exact")
+	b.ReportMetric(r.Metrics["tried_exact"], "tried")
+}
+
+func BenchmarkE5DReducible(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E5DReducible()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["improved"], "improved")
+	b.ReportMetric(r.Metrics["tried"], "tried")
+	b.ReportMetric(r.Metrics["mean_direct"], "mean-direct-area")
+	b.ReportMetric(r.Metrics["mean_dec"], "mean-decomposed-area")
+}
+
+func BenchmarkE6BIST(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E6BIST()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(100*r.Metrics["coverage_16"], "coverage-pct-16x16")
+	b.ReportMetric(r.Metrics["diag_configs_16"], "diag-configs-16x16")
+}
+
+func BenchmarkE7BISM(b *testing.B) {
+	p := experiments.DefaultE7Params()
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E7BISM(p)
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(100*r.Metrics["blind_ok_0.001"], "blind-ok-pct-lowp")
+	b.ReportMetric(100*r.Metrics["blind_ok_0.150"], "blind-ok-pct-highp")
+	b.ReportMetric(100*r.Metrics["greedy_ok_0.150"], "greedy-ok-pct-highp")
+	b.ReportMetric(100*r.Metrics["hybrid(4)_ok_0.150"], "hybrid-ok-pct-highp")
+}
+
+func BenchmarkE8DefectUnawareFlow(b *testing.B) {
+	p := experiments.DefaultE8Params()
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E8DefectUnaware(p)
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["meanK_n64_p0.05"], "mean-k-n64-p5pct")
+	b.ReportMetric(r.Metrics["cost_advantage"], "flow-cost-advantage")
+}
+
+func BenchmarkE9ArithSSM(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E9ArithSSM()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["adder8_area"], "adder8-area")
+	b.ReportMetric(r.Metrics["ssm_area"], "ssm-area")
+	b.ReportMetric(100*r.Metrics["ssm_equiv"], "ssm-equiv-pct")
+}
+
+func BenchmarkE10Variation(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E10Variation()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["p99_over_mean_s0.5"], "p99-over-mean-sigma0.5")
+	b.ReportMetric(r.Metrics["placement_gain_s0.5"], "placement-gain-pct")
+}
+
+func BenchmarkE11Lifetime(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.E11Lifetime()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["bare_err"], "bare-error-rate")
+	b.ReportMetric(r.Metrics["tmr_err"], "tmr-error-rate")
+	b.ReportMetric(r.Metrics["alive_period_0"], "epochs-alive-no-repair")
+	b.ReportMetric(r.Metrics["alive_period_2"], "epochs-alive-retest2")
+}
+
+func BenchmarkAblationSynthesis(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationSynthesis()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["area_exact+freq+reduce"], "total-area-full")
+	b.ReportMetric(r.Metrics["area_no-postreduce"], "total-area-no-reduce")
+	b.ReportMetric(r.Metrics["area_isop-covers"], "total-area-isop")
+	b.ReportMetric(r.Metrics["area_first-literal"], "total-area-first-literal")
+}
+
+func BenchmarkAblationHybridThreshold(b *testing.B) {
+	var r *experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationHybridThreshold()
+	}
+	r.WriteTo(io.Discard)
+	b.ReportMetric(r.Metrics["cost_bb1"], "mean-cost-budget1")
+	b.ReportMetric(r.Metrics["cost_bb4"], "mean-cost-budget4")
+	b.ReportMetric(r.Metrics["cost_bb32"], "mean-cost-budget32")
+}

@@ -1,0 +1,52 @@
+// Command repro regenerates every experiment table of the DATE'17
+// reproduction (the source of EXPERIMENTS.md). Run with no arguments
+// for all experiments, or pass experiment ids (e1 … e9) to select.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"nanoxbar/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[strings.ToLower(a)] = true
+	}
+	runners := map[string]func() *experiments.Report{
+		"e1":  experiments.E1TwoTerminalSizes,
+		"e2":  experiments.E2FourTerminalComparison,
+		"e3":  experiments.E3Fig4,
+		"e4":  experiments.E4PCircuit,
+		"e5":  experiments.E5DReducible,
+		"e6":  experiments.E6BIST,
+		"e7":  func() *experiments.Report { return experiments.E7BISM(experiments.DefaultE7Params()) },
+		"e8":  func() *experiments.Report { return experiments.E8DefectUnaware(experiments.DefaultE8Params()) },
+		"e9":  experiments.E9ArithSSM,
+		"e10": experiments.E10Variation,
+		"e11": experiments.E11Lifetime,
+		"a1":  experiments.AblationSynthesis,
+		"a2":  experiments.AblationHybridThreshold,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2"}
+	ran := 0
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		rep := runners[id]()
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "usage: repro [e1 … e11]\n")
+		os.Exit(2)
+	}
+}

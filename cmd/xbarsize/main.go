@@ -1,0 +1,71 @@
+// Command xbarsize prints the crossbar array sizes — diode, FET
+// (Fig. 3) and four-terminal lattice (Fig. 5) — for a Boolean function
+// or for the whole benchmark suite.
+//
+// Usage:
+//
+//	xbarsize -f "x1x2 + x1'x2'"
+//	xbarsize -suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"nanoxbar/internal/benchfn"
+	"nanoxbar/internal/bexpr"
+	"nanoxbar/internal/core"
+)
+
+func main() {
+	expr := flag.String("f", "", "Boolean expression")
+	suite := flag.Bool("suite", false, "run the whole benchmark suite")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "name\tn\tdiode\tFET\tlattice\tmethod\twinner")
+	defer tw.Flush()
+
+	run := func(name string, spec benchfn.Spec) error {
+		cmp, err := core.CompareTechnologies(spec.F, opts)
+		if err != nil {
+			return err
+		}
+		winner := "lattice"
+		if cmp.Lattice.Area() > cmp.Diode.Area() || cmp.Lattice.Area() > cmp.FET.Area() {
+			winner = "two-terminal"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d×%d\t%d×%d\t%d×%d\t%s\t%s\n",
+			name, spec.N(),
+			cmp.Diode.Rows, cmp.Diode.Cols,
+			cmp.FET.Rows, cmp.FET.Cols,
+			cmp.Lattice.Rows, cmp.Lattice.Cols,
+			cmp.Lattice.Method, winner)
+		return nil
+	}
+
+	switch {
+	case *suite:
+		for _, s := range benchfn.Suite() {
+			if err := run(s.Name, s); err != nil {
+				fmt.Fprintln(os.Stderr, "xbarsize:", s.Name, err)
+			}
+		}
+	case *expr != "":
+		f, _, err := bexpr.ParseTT(*expr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbarsize:", err)
+			os.Exit(1)
+		}
+		if err := run("f", benchfn.Spec{Name: "f", Description: *expr, F: f}); err != nil {
+			fmt.Fprintln(os.Stderr, "xbarsize:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: xbarsize -f \"expr\" | -suite")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,11 @@
+// Package nanoxbar reproduces "Computing with Nano-Crossbar Arrays:
+// Logic Synthesis and Fault Tolerance" (Altun, Ciriani, Tahoori, DATE
+// 2017): logic synthesis for diode-, FET- and four-terminal-switch
+// nano-crossbar arrays with area optimization, and the paper's built-in
+// test, diagnosis, self-mapping, and defect-unaware design flows.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// module inventory); cmd/ hosts the command-line tools, examples/ the
+// runnable walkthroughs, and bench_test.go in this directory regenerates
+// every experiment of the paper's evaluation (EXPERIMENTS.md).
+package nanoxbar

@@ -1,0 +1,63 @@
+// Statemachine demonstrates the paper's objective 4: a synchronous
+// state machine (SSM) whose next-state and output logic run on
+// four-terminal switching lattices — here the classic "101" sequence
+// detector with overlap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"nanoxbar/internal/arith"
+	"nanoxbar/internal/latsynth"
+)
+
+func main() {
+	spec := arith.SequenceDetector101()
+	m, err := arith.SynthesizeSSM(spec, latsynth.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Moore machine: %d states, %d-bit input\n", spec.NumStates, spec.InBits)
+	fmt.Printf("synthesized: %d next-state lattices + 1 output lattice, total area %d\n\n",
+		len(m.NextBits), m.TotalArea())
+	for b, l := range m.NextBits {
+		fmt.Printf("next-state bit %d (%d×%d):\n%v\n", b, l.R, l.C, l)
+	}
+
+	// Drive it with a demo stream.
+	input := []uint64{1, 0, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1, 0, 1}
+	out := m.Run(input)
+	var inStr, outStr strings.Builder
+	for i := range input {
+		fmt.Fprintf(&inStr, "%d", input[i])
+		if out[i] {
+			outStr.WriteByte('1')
+		} else {
+			outStr.WriteByte('0')
+		}
+	}
+	fmt.Printf("input : %s\noutput: %s   (1 = '101' just seen, overlaps allowed)\n\n",
+		inStr.String(), outStr.String())
+
+	// Equivalence against the reference automaton on random streams.
+	rng := rand.New(rand.NewSource(5))
+	trials, steps := 100, 256
+	for t := 0; t < trials; t++ {
+		in := make([]uint64, steps)
+		for i := range in {
+			in[i] = uint64(rng.Intn(2))
+		}
+		got := m.Run(in)
+		want := spec.ReferenceRun(in)
+		for i := range want {
+			if got[i] != want[i] {
+				log.Fatalf("divergence at trial %d step %d", t, i)
+			}
+		}
+	}
+	fmt.Printf("equivalence check: %d random streams × %d steps — lattice SSM matches the reference automaton\n",
+		trials, steps)
+}

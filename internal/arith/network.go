@@ -1,0 +1,198 @@
+// Package arith implements the paper's future-work package (Section V,
+// objectives 3 and 4): arithmetic elements built from four-terminal
+// switching lattices, multi-level lattice networks, and a synchronous
+// state machine (SSM) whose combinational logic is synthesized onto
+// crossbar arrays and driven by a clocked state register.
+//
+// A single lattice can only compute one SOP-structured function of its
+// literal inputs; arithmetic circuits (ripple adders, comparators) need
+// intermediate signals, so the package introduces lattice networks:
+// DAGs whose nodes are lattices and whose edges wire node outputs to the
+// literal inputs of later nodes — the crossbar analogue of a standard
+// multi-level netlist.
+package arith
+
+import (
+	"fmt"
+
+	"nanoxbar/internal/latsynth"
+	"nanoxbar/internal/lattice"
+	"nanoxbar/internal/truthtab"
+)
+
+// Signal identifies a wire in a lattice network: primary inputs come
+// first (0 … NumPI-1), then one output per node in insertion order.
+type Signal int
+
+// Node is one lattice in a network. The lattice's variable v is driven
+// by Inputs[v].
+type Node struct {
+	L      *lattice.Lattice
+	Inputs []Signal
+}
+
+// Network is a DAG of lattices.
+type Network struct {
+	NumPI   int
+	Nodes   []Node
+	Outputs []Signal
+}
+
+// NewNetwork creates a network with n primary inputs.
+func NewNetwork(n int) *Network {
+	if n < 0 || n > 63 {
+		panic(fmt.Sprintf("arith: bad primary input count %d", n))
+	}
+	return &Network{NumPI: n}
+}
+
+// AddNode appends a lattice node; inputs[v] drives lattice variable v.
+// Inputs must reference primary inputs or earlier nodes (no cycles).
+func (nw *Network) AddNode(l *lattice.Lattice, inputs []Signal) Signal {
+	if len(inputs) < l.MaxVar() {
+		panic(fmt.Sprintf("arith: node needs %d inputs, got %d", l.MaxVar(), len(inputs)))
+	}
+	limit := Signal(nw.NumPI + len(nw.Nodes))
+	for _, s := range inputs {
+		if s < 0 || s >= limit {
+			panic(fmt.Sprintf("arith: input signal %d out of range (limit %d)", s, limit))
+		}
+	}
+	nw.Nodes = append(nw.Nodes, Node{L: l, Inputs: inputs})
+	return limit
+}
+
+// Eval computes all signal values for a primary-input assignment (bit i
+// of a = PI i) and returns the output values.
+func (nw *Network) Eval(a uint64) []bool {
+	vals := make([]bool, nw.NumPI+len(nw.Nodes))
+	for i := 0; i < nw.NumPI; i++ {
+		vals[i] = a>>uint(i)&1 == 1
+	}
+	for k, nd := range nw.Nodes {
+		var local uint64
+		for v, s := range nd.Inputs {
+			if vals[s] {
+				local |= 1 << uint(v)
+			}
+		}
+		vals[nw.NumPI+k] = nd.L.Eval(local)
+	}
+	out := make([]bool, len(nw.Outputs))
+	for i, s := range nw.Outputs {
+		out[i] = vals[s]
+	}
+	return out
+}
+
+// TotalArea sums the area of every lattice in the network, the cost
+// measure for multi-level crossbar circuits.
+func (nw *Network) TotalArea() int {
+	area := 0
+	for _, nd := range nw.Nodes {
+		area += nd.L.Area()
+	}
+	return area
+}
+
+// NumLattices returns the node count.
+func (nw *Network) NumLattices() int { return len(nw.Nodes) }
+
+// synthLattice builds a lattice for a small helper function.
+func synthLattice(f truthtab.TT, opts latsynth.Options) *lattice.Lattice {
+	res, err := latsynth.DualMethod(f, opts)
+	if err != nil {
+		panic(fmt.Sprintf("arith: internal synthesis failed: %v", err))
+	}
+	return res.Lattice
+}
+
+// maj3TT and xor3TT are the full-adder component functions.
+func maj3TT() truthtab.TT {
+	return truthtab.FromFunc(3, func(a uint64) bool {
+		return a&1+a>>1&1+a>>2&1 >= 2
+	})
+}
+
+func xor3TT() truthtab.TT {
+	return truthtab.FromFunc(3, func(a uint64) bool {
+		return (a&1+a>>1&1+a>>2&1)%2 == 1
+	})
+}
+
+// AddFullAdder wires a 1-bit full adder (two lattices: 3-input parity
+// for sum, 3-input majority for carry) and returns (sum, carry).
+func (nw *Network) AddFullAdder(a, b, cin Signal, opts latsynth.Options) (Signal, Signal) {
+	sum := nw.AddNode(synthLattice(xor3TT(), opts), []Signal{a, b, cin})
+	carry := nw.AddNode(synthLattice(maj3TT(), opts), []Signal{a, b, cin})
+	return sum, carry
+}
+
+// RippleAdder builds an n-bit ripple-carry adder network: primary inputs
+// a0..a(n-1), b0..b(n-1) (a at signals 0..n-1, b at n..2n-1); outputs
+// are the n sum bits followed by the carry-out.
+func RippleAdder(n int, opts latsynth.Options) *Network {
+	if n < 1 {
+		panic("arith: adder width must be positive")
+	}
+	nw := NewNetwork(2 * n)
+	// Half adder for bit 0: sum = a⊕b (2-var parity), carry = ab.
+	xor2 := truthtab.Var(2, 0).Xor(truthtab.Var(2, 1))
+	and2 := truthtab.Var(2, 0).And(truthtab.Var(2, 1))
+	sum0 := nw.AddNode(synthLattice(xor2, opts), []Signal{0, Signal(n)})
+	carry := nw.AddNode(synthLattice(and2, opts), []Signal{0, Signal(n)})
+	nw.Outputs = append(nw.Outputs, sum0)
+	for i := 1; i < n; i++ {
+		s, c := nw.AddFullAdder(Signal(i), Signal(n+i), carry, opts)
+		nw.Outputs = append(nw.Outputs, s)
+		carry = c
+	}
+	nw.Outputs = append(nw.Outputs, carry)
+	return nw
+}
+
+// AddUint interprets the adder network on concrete operands and returns
+// the numeric sum (reference-checked in tests).
+func AddUint(nw *Network, n int, a, b uint64) uint64 {
+	assign := (a & (1<<uint(n) - 1)) | (b&(1<<uint(n)-1))<<uint(n)
+	out := nw.Eval(assign)
+	var s uint64
+	for i, bit := range out {
+		if bit {
+			s |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+// Comparator builds an n-bit magnitude comparator network computing
+// a > b, with a at signals 0..n-1 and b at n..2n-1 (LSB first). It
+// ripples from the LSB: gt_{i} = a_i·b_i' + (a_i⊕b_i)'·gt_{i-1}.
+func Comparator(n int, opts latsynth.Options) *Network {
+	if n < 1 {
+		panic("arith: comparator width must be positive")
+	}
+	nw := NewNetwork(2 * n)
+	// gt0 = a0·b0'
+	gtTT := truthtab.Var(2, 0).And(truthtab.Var(2, 1).Not())
+	gt := nw.AddNode(synthLattice(gtTT, opts), []Signal{0, Signal(n)})
+	// step(a,b,prev) = a·b' + (a XNOR b)·prev
+	step := truthtab.FromFunc(3, func(x uint64) bool {
+		ai, bi, prev := x&1 == 1, x>>1&1 == 1, x>>2&1 == 1
+		if ai != bi {
+			return ai
+		}
+		return prev
+	})
+	for i := 1; i < n; i++ {
+		gt = nw.AddNode(synthLattice(step, opts), []Signal{Signal(i), Signal(n + i), gt})
+	}
+	nw.Outputs = []Signal{gt}
+	return nw
+}
+
+// GreaterUint evaluates the comparator on concrete operands.
+func GreaterUint(nw *Network, n int, a, b uint64) bool {
+	assign := (a & (1<<uint(n) - 1)) | (b&(1<<uint(n)-1))<<uint(n)
+	return nw.Eval(assign)[0]
+}

@@ -1,0 +1,336 @@
+// Package bism implements the built-in self-mapping (BISM) schemes of
+// Section IV-B of the DATE'17 paper: blind, greedy, and hybrid mapping
+// of an application configuration onto a partially defective crossbar.
+//
+// The mapper assigns each logical row/column of the application to a
+// distinct physical row/column of the chip. A mapping is valid when
+//
+//   - every physical crosspoint carrying a used (closed) switch is not
+//     stuck open and its wires are intact,
+//   - every physical crosspoint at the intersection of selected lines
+//     that must stay open is not stuck closed, and
+//   - no bridge joins two selected adjacent physical lines.
+//
+// The chip can only be observed through its built-in test machinery:
+// BIST answers pass/fail for the current configuration
+// (application-dependent test), and BISD additionally names the
+// defective physical resources used by the failing configuration. The
+// three schemes differ in how they spend those two primitives, exactly
+// as the paper describes: blind re-randomizes after every failed BIST,
+// greedy invokes BISD and re-maps only the broken lines, and hybrid
+// starts blind and falls back to greedy after a retry budget.
+package bism
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nanoxbar/internal/defect"
+)
+
+// App is the application configuration to be realized: a logical R×C
+// crosspoint closure matrix.
+type App struct {
+	R, C int
+	Used [][]bool // Used[i][j]: logical crosspoint (i,j) must close
+}
+
+// NewApp builds an application from a closure matrix.
+func NewApp(used [][]bool) *App {
+	if len(used) == 0 || len(used[0]) == 0 {
+		panic("bism: empty application")
+	}
+	a := &App{R: len(used), C: len(used[0]), Used: used}
+	for _, row := range used {
+		if len(row) != a.C {
+			panic("bism: ragged application matrix")
+		}
+	}
+	return a
+}
+
+// RandomApp draws an application whose crosspoints close independently
+// with the given density.
+func RandomApp(r, c int, density float64, rng *rand.Rand) *App {
+	used := make([][]bool, r)
+	for i := range used {
+		used[i] = make([]bool, c)
+		for j := range used[i] {
+			used[i][j] = rng.Float64() < density
+		}
+	}
+	return NewApp(used)
+}
+
+// Mapping assigns logical lines to physical lines (injectively).
+type Mapping struct {
+	Rows []int // Rows[i] = physical row of logical row i
+	Cols []int
+}
+
+// Chip is the physical array under self-mapping: the defect map is
+// hidden from the algorithms, which may only call BIST and BISD.
+type Chip struct {
+	N       int
+	defects *defect.Map
+}
+
+// NewChip wraps a defect map as a testable chip.
+func NewChip(m *defect.Map) *Chip {
+	if m.R != m.C {
+		panic("bism: chip must be square")
+	}
+	return &Chip{N: m.R, defects: m}
+}
+
+// Resource identifies a physical line reported defective by BISD.
+type Resource struct {
+	IsRow bool
+	Index int // physical line index
+}
+
+func (r Resource) String() string {
+	if r.IsRow {
+		return fmt.Sprintf("row%d", r.Index)
+	}
+	return fmt.Sprintf("col%d", r.Index)
+}
+
+// bist checks the mapped configuration; it reports failure and (for the
+// diagnosis path) the set of physical lines involved in violations.
+func (ch *Chip) check(app *App, m *Mapping) (ok bool, bad map[Resource]bool) {
+	bad = make(map[Resource]bool)
+	d := ch.defects
+	selRow := make(map[int]bool, app.R)
+	for _, pr := range m.Rows {
+		selRow[pr] = true
+	}
+	selCol := make(map[int]bool, app.C)
+	for _, pc := range m.Cols {
+		selCol[pc] = true
+	}
+	for i, pr := range m.Rows {
+		if d.RowBroken[pr] {
+			bad[Resource{true, pr}] = true
+		}
+		for j, pc := range m.Cols {
+			k := d.At(pr, pc)
+			if app.Used[i][j] && k == defect.StuckOpen {
+				bad[Resource{true, pr}] = true
+				bad[Resource{false, pc}] = true
+			}
+			if !app.Used[i][j] && k == defect.StuckClosed {
+				bad[Resource{true, pr}] = true
+				bad[Resource{false, pc}] = true
+			}
+		}
+	}
+	for _, pc := range m.Cols {
+		if d.ColBroken[pc] {
+			bad[Resource{false, pc}] = true
+		}
+	}
+	for r := 0; r+1 < ch.N; r++ {
+		if d.RowBridges[r] && selRow[r] && selRow[r+1] {
+			bad[Resource{true, r}] = true
+			bad[Resource{true, r + 1}] = true
+		}
+	}
+	for c := 0; c+1 < ch.N; c++ {
+		if d.ColBridges[c] && selCol[c] && selCol[c+1] {
+			bad[Resource{false, c}] = true
+			bad[Resource{false, c + 1}] = true
+		}
+	}
+	return len(bad) == 0, bad
+}
+
+// Stats accounts the self-mapping effort, the cost measures compared in
+// experiment E7.
+type Stats struct {
+	Configs   int  // configurations programmed into the crossbar
+	BISTCalls int  // application-dependent test sessions
+	BISDCalls int  // diagnosis sessions
+	Success   bool // a defect-free mapping was found
+}
+
+// Cost converts the effort into the abstract cost model: a BIST session
+// costs 1, a BISD session costs diagCost (diagnosis applies the
+// logarithmic configuration set, so diagCost > 1).
+func (s Stats) Cost(diagCost float64) float64 {
+	return float64(s.BISTCalls) + diagCost*float64(s.BISDCalls)
+}
+
+// Mapper is one self-mapping scheme.
+type Mapper interface {
+	Name() string
+	// Map attempts to find a valid mapping within maxAttempts
+	// configurations.
+	Map(ch *Chip, app *App, maxAttempts int, rng *rand.Rand) (*Mapping, Stats)
+}
+
+func randomMapping(n int, app *App, rng *rand.Rand) *Mapping {
+	if app.R > n || app.C > n {
+		panic(fmt.Sprintf("bism: %d×%d application exceeds %d×%d chip", app.R, app.C, n, n))
+	}
+	return &Mapping{
+		Rows: rng.Perm(n)[:app.R],
+		Cols: rng.Perm(n)[:app.C],
+	}
+}
+
+// Blind BISM: re-randomize the whole configuration after every failed
+// application-dependent BIST. No diagnosis at all — fast and simple at
+// low defect densities, hopeless at high ones.
+type Blind struct{}
+
+// Name implements Mapper.
+func (Blind) Name() string { return "blind" }
+
+// Map implements Mapper.
+func (Blind) Map(ch *Chip, app *App, maxAttempts int, rng *rand.Rand) (*Mapping, Stats) {
+	var st Stats
+	for st.Configs < maxAttempts {
+		m := randomMapping(ch.N, app, rng)
+		st.Configs++
+		st.BISTCalls++
+		if ok, _ := ch.check(app, m); ok {
+			st.Success = true
+			return m, st
+		}
+	}
+	return nil, st
+}
+
+// Greedy BISM: after a failed BIST, run BISD and replace only the
+// physical lines reported defective with fresh unused ones. Effective at
+// high defect densities where blind retries almost never succeed.
+type Greedy struct{}
+
+// Name implements Mapper.
+func (Greedy) Name() string { return "greedy" }
+
+// Map implements Mapper.
+func (g Greedy) Map(ch *Chip, app *App, maxAttempts int, rng *rand.Rand) (*Mapping, Stats) {
+	var st Stats
+	m := randomMapping(ch.N, app, rng)
+	st.Configs++
+	return g.repair(ch, app, m, maxAttempts, rng, st)
+}
+
+// repair runs the greedy BISD/bypass loop from an existing mapping.
+func (Greedy) repair(ch *Chip, app *App, m *Mapping, maxAttempts int, rng *rand.Rand, st Stats) (*Mapping, Stats) {
+	for {
+		st.BISTCalls++
+		ok, _ := ch.check(app, m)
+		if ok {
+			st.Success = true
+			return m, st
+		}
+		if st.Configs >= maxAttempts {
+			return nil, st
+		}
+		st.BISDCalls++
+		_, bad := ch.check(app, m)
+		if !replaceBad(ch.N, app, m, bad, rng) {
+			// Not enough spare lines to bypass: restart randomly.
+			m = randomMapping(ch.N, app, rng)
+		}
+		st.Configs++
+	}
+}
+
+// replaceBad remaps every logical line currently assigned to a reported
+// defective physical line onto a random unused physical line. It
+// reports false when the chip has no spare lines left to try.
+func replaceBad(n int, app *App, m *Mapping, bad map[Resource]bool, rng *rand.Rand) bool {
+	usedRow := make(map[int]bool, app.R)
+	for _, pr := range m.Rows {
+		usedRow[pr] = true
+	}
+	usedCol := make(map[int]bool, app.C)
+	for _, pc := range m.Cols {
+		usedCol[pc] = true
+	}
+	spare := func(used map[int]bool) []int {
+		var s []int
+		for p := 0; p < n; p++ {
+			if !used[p] {
+				s = append(s, p)
+			}
+		}
+		rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+		return s
+	}
+	spareRows, spareCols := spare(usedRow), spare(usedCol)
+	replaced := false
+	for i, pr := range m.Rows {
+		if bad[Resource{true, pr}] {
+			if len(spareRows) == 0 {
+				return replaced
+			}
+			m.Rows[i] = spareRows[0]
+			spareRows = spareRows[1:]
+			replaced = true
+		}
+	}
+	for j, pc := range m.Cols {
+		if bad[Resource{false, pc}] {
+			if len(spareCols) == 0 {
+				return replaced
+			}
+			m.Cols[j] = spareCols[0]
+			spareCols = spareCols[1:]
+			replaced = true
+		}
+	}
+	return replaced
+}
+
+// Hybrid BISM: blind for BlindBudget configurations, then greedy. The
+// paper's recommended scheme: tracks blind's low cost at low defect
+// density and greedy's robustness at high density, for any local or
+// global density variation.
+type Hybrid struct {
+	BlindBudget int // blind configurations before switching (default 4)
+}
+
+// Name implements Mapper.
+func (h Hybrid) Name() string { return fmt.Sprintf("hybrid(%d)", h.budget()) }
+
+func (h Hybrid) budget() int {
+	if h.BlindBudget <= 0 {
+		return 4
+	}
+	return h.BlindBudget
+}
+
+// Map implements Mapper.
+func (h Hybrid) Map(ch *Chip, app *App, maxAttempts int, rng *rand.Rand) (*Mapping, Stats) {
+	var st Stats
+	budget := h.budget()
+	if budget > maxAttempts {
+		budget = maxAttempts
+	}
+	var last *Mapping
+	for st.Configs < budget {
+		last = randomMapping(ch.N, app, rng)
+		st.Configs++
+		st.BISTCalls++
+		if ok, _ := ch.check(app, last); ok {
+			st.Success = true
+			return last, st
+		}
+	}
+	if st.Configs >= maxAttempts || last == nil {
+		return nil, st
+	}
+	return Greedy{}.repair(ch, app, last, maxAttempts, rng, st)
+}
+
+// Validate re-checks a returned mapping against the chip (used by tests
+// and by callers that want a final independent confirmation).
+func Validate(ch *Chip, app *App, m *Mapping) bool {
+	ok, _ := ch.check(app, m)
+	return ok
+}

@@ -1,0 +1,250 @@
+package bism
+
+import (
+	"math/rand"
+	"testing"
+
+	"nanoxbar/internal/defect"
+)
+
+func cleanChip(n int) *Chip { return NewChip(defect.NewMap(n, n)) }
+
+func TestCleanChipFirstTry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	app := RandomApp(4, 4, 0.5, rng)
+	for _, m := range []Mapper{Blind{}, Greedy{}, Hybrid{}} {
+		mp, st := m.Map(cleanChip(8), app, 100, rng)
+		if mp == nil || !st.Success {
+			t.Fatalf("%s failed on a clean chip", m.Name())
+		}
+		if st.Configs != 1 || st.BISTCalls != 1 || st.BISDCalls != 0 {
+			t.Fatalf("%s stats on clean chip: %+v", m.Name(), st)
+		}
+	}
+}
+
+func TestReturnedMappingsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		n := 12 + rng.Intn(8)
+		d := defect.Random(n, n, defect.UniformCrosspoint(0.02), rng)
+		ch := NewChip(d)
+		app := RandomApp(4, 4, 0.4, rng)
+		for _, m := range []Mapper{Blind{}, Greedy{}, Hybrid{}} {
+			mp, st := m.Map(ch, app, 500, rng)
+			if mp == nil {
+				continue // may legitimately fail
+			}
+			if !st.Success {
+				t.Fatalf("%s returned mapping without success flag", m.Name())
+			}
+			if !Validate(ch, app, mp) {
+				t.Fatalf("%s returned an invalid mapping", m.Name())
+			}
+			// Injectivity.
+			seen := map[int]bool{}
+			for _, r := range mp.Rows {
+				if seen[r] {
+					t.Fatalf("%s duplicated physical row", m.Name())
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestMappingAvoidsDefects(t *testing.T) {
+	// A chip defective everywhere except one clean 2×2 corner: any
+	// valid mapping of a full 2×2 app must land exactly there.
+	n := 6
+	d := defect.NewMap(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if r >= 2 || c >= 2 {
+				d.Set(r, c, defect.StuckOpen)
+			}
+		}
+	}
+	app := NewApp([][]bool{{true, true}, {true, true}})
+	ch := NewChip(d)
+	rng := rand.New(rand.NewSource(3))
+	mp, st := Greedy{}.Map(ch, app, 20000, rng)
+	if mp == nil {
+		t.Fatalf("greedy failed to find the clean corner: %+v", st)
+	}
+	for _, r := range mp.Rows {
+		if r >= 2 {
+			t.Fatalf("mapping uses defective row %d", r)
+		}
+	}
+	for _, c := range mp.Cols {
+		if c >= 2 {
+			t.Fatalf("mapping uses defective col %d", c)
+		}
+	}
+}
+
+func TestStuckClosedBlocksUnusedCrosspoint(t *testing.T) {
+	// App uses (0,0) and (1,1) but not (0,1); a stuck-closed at the
+	// mapped (0,1) intersection must invalidate the mapping.
+	d := defect.NewMap(2, 2)
+	d.Set(0, 1, defect.StuckClosed)
+	ch := NewChip(d)
+	app := NewApp([][]bool{{true, false}, {false, true}})
+	// Identity mapping hits the stuck-closed cell.
+	ok, bad := ch.check(app, &Mapping{Rows: []int{0, 1}, Cols: []int{0, 1}})
+	if ok {
+		t.Fatal("stuck-closed on an unused crosspoint must fail BIST")
+	}
+	if len(bad) == 0 {
+		t.Fatal("diagnosis must name resources")
+	}
+	// Swapped rows: logical (0,·) on physical row 1; physical (0,1)
+	// now sits at logical (1,1) which IS used → stuck-closed harmless.
+	ok, _ = ch.check(app, &Mapping{Rows: []int{1, 0}, Cols: []int{0, 1}})
+	if !ok {
+		t.Fatal("swap should tolerate the stuck-closed crosspoint")
+	}
+}
+
+func TestBridgesBlockAdjacency(t *testing.T) {
+	d := defect.NewMap(4, 4)
+	d.RowBridges[1] = true // rows 1,2 bridged
+	ch := NewChip(d)
+	app := NewApp([][]bool{{true, true}, {true, true}})
+	// Mapping using both bridged rows fails.
+	ok, _ := ch.check(app, &Mapping{Rows: []int{1, 2}, Cols: []int{0, 1}})
+	if ok {
+		t.Fatal("bridged selected rows must fail")
+	}
+	// Skipping row 2 is fine.
+	ok, _ = ch.check(app, &Mapping{Rows: []int{1, 3}, Cols: []int{0, 1}})
+	if !ok {
+		t.Fatal("non-adjacent selection must pass")
+	}
+}
+
+func TestBlindDegradesGreedySurvives(t *testing.T) {
+	// At high defect density blind almost never succeeds within a
+	// small budget while greedy usually does — the paper's regime
+	// separation.
+	rng := rand.New(rand.NewSource(4))
+	n, trials, budget := 24, 30, 40
+	density := 0.15
+	blindWins, greedyWins := 0, 0
+	for i := 0; i < trials; i++ {
+		d := defect.Random(n, n, defect.UniformCrosspoint(density), rng)
+		app := RandomApp(8, 8, 0.5, rng)
+		ch := NewChip(d)
+		if mp, _ := (Blind{}).Map(ch, app, budget, rng); mp != nil {
+			blindWins++
+		}
+		if mp, _ := (Greedy{}).Map(ch, app, budget, rng); mp != nil {
+			greedyWins++
+		}
+	}
+	if greedyWins <= blindWins {
+		t.Fatalf("greedy (%d/%d) should beat blind (%d/%d) at density %.2f",
+			greedyWins, trials, blindWins, trials, density)
+	}
+}
+
+func TestBlindCheaperAtLowDensity(t *testing.T) {
+	// At very low density blind needs no diagnosis sessions, so its
+	// cost with expensive BISD should be no worse than greedy's.
+	rng := rand.New(rand.NewSource(5))
+	n, trials := 24, 40
+	diagCost := 10.0
+	var blindCost, greedyCost float64
+	for i := 0; i < trials; i++ {
+		d := defect.Random(n, n, defect.UniformCrosspoint(0.002), rng)
+		app := RandomApp(6, 6, 0.5, rng)
+		ch := NewChip(d)
+		_, st := (Blind{}).Map(ch, app, 1000, rng)
+		blindCost += st.Cost(diagCost)
+		_, st = (Greedy{}).Map(ch, app, 1000, rng)
+		greedyCost += st.Cost(diagCost)
+	}
+	if blindCost > greedyCost*1.5 {
+		t.Fatalf("blind cost %.1f should be competitive at low density (greedy %.1f)",
+			blindCost, greedyCost)
+	}
+}
+
+func TestHybridTracksBest(t *testing.T) {
+	// Hybrid must succeed wherever greedy succeeds (it falls back).
+	rng := rand.New(rand.NewSource(6))
+	n, trials, budget := 24, 25, 200
+	for _, density := range []float64{0.001, 0.05} {
+		greedyOK, hybridOK := 0, 0
+		for i := 0; i < trials; i++ {
+			d := defect.Random(n, n, defect.UniformCrosspoint(density), rng)
+			app := RandomApp(5, 5, 0.5, rng)
+			ch := NewChip(d)
+			if mp, _ := (Greedy{}).Map(ch, app, budget, rng); mp != nil {
+				greedyOK++
+			}
+			if mp, _ := (Hybrid{BlindBudget: 4}).Map(ch, app, budget, rng); mp != nil {
+				hybridOK++
+			}
+		}
+		if hybridOK < greedyOK-3 {
+			t.Fatalf("density %.3f: hybrid %d/%d far below greedy %d/%d",
+				density, hybridOK, trials, greedyOK, trials)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	st := Stats{BISTCalls: 10, BISDCalls: 3}
+	if st.Cost(5) != 10+15 {
+		t.Fatalf("cost = %v", st.Cost(5))
+	}
+}
+
+func TestImpossibleAppFails(t *testing.T) {
+	// All crosspoints stuck open: nothing that closes a switch can map.
+	n := 5
+	d := defect.NewMap(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			d.Set(r, c, defect.StuckOpen)
+		}
+	}
+	ch := NewChip(d)
+	app := NewApp([][]bool{{true}})
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []Mapper{Blind{}, Greedy{}, Hybrid{}} {
+		if mp, st := m.Map(ch, app, 50, rng); mp != nil || st.Success {
+			t.Fatalf("%s claimed success on an unusable chip", m.Name())
+		}
+	}
+}
+
+func TestAppValidation(t *testing.T) {
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { NewApp(nil) })
+	mustPanic(func() { NewApp([][]bool{{true}, {true, false}}) })
+	mustPanic(func() { NewChip(defect.NewMap(2, 3)) })
+	mustPanic(func() {
+		rng := rand.New(rand.NewSource(8))
+		app := RandomApp(9, 9, 0.5, rng)
+		Blind{}.Map(cleanChip(4), app, 1, rng)
+	})
+}
+
+func TestMapperNames(t *testing.T) {
+	if (Blind{}).Name() != "blind" || (Greedy{}).Name() != "greedy" {
+		t.Fatal("names")
+	}
+	if (Hybrid{BlindBudget: 7}).Name() != "hybrid(7)" {
+		t.Fatal("hybrid name")
+	}
+}

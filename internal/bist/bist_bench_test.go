@@ -1,0 +1,31 @@
+package bist
+
+import "testing"
+
+func BenchmarkDetectionCoverage16x16(b *testing.B) {
+	s := DetectionSuite(16, 16)
+	for i := 0; i < b.N; i++ {
+		if got, total := s.Coverage(); got != total {
+			b.Fatalf("coverage %d/%d", got, total)
+		}
+	}
+}
+
+func BenchmarkDiagnosisSyndrome32x32(b *testing.B) {
+	s := DiagnosisSuite(32, 32)
+	f := Fault{SAOpen, 17, 23}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Syndrome(f)
+	}
+}
+
+func BenchmarkSimulate32x32(b *testing.B) {
+	s := DetectionSuite(32, 32)
+	conf := s.Configs[0].Rows
+	f := Fault{ColBridge, 0, 12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(32, 32, conf, f, ^uint64(0))
+	}
+}

@@ -1,0 +1,250 @@
+// Package defect models fabrication defects of reconfigurable
+// nano-crossbar arrays: crosspoints stuck open or stuck closed, broken
+// row/column nanowires, and bridges between adjacent wires. Defect maps
+// are generated from seeded random distributions — uniform Bernoulli or
+// clustered — standing in for the post-fabrication test data the paper's
+// flows consume (the repo has no physical chips; see DESIGN.md).
+package defect
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind classifies a crosspoint defect.
+type Kind uint8
+
+// Crosspoint defect kinds.
+const (
+	None Kind = iota
+	StuckOpen
+	StuckClosed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "ok"
+	case StuckOpen:
+		return "stuck-open"
+	case StuckClosed:
+		return "stuck-closed"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Map is the defect state of an R×C crossbar.
+type Map struct {
+	R, C       int
+	points     []Kind // row-major crosspoint defects
+	RowBroken  []bool // broken row wires (len R)
+	ColBroken  []bool // broken column wires (len C)
+	RowBridges []bool // bridge between rows r and r+1 (len R-1)
+	ColBridges []bool // bridge between cols c and c+1 (len C-1)
+}
+
+// NewMap returns a defect-free map.
+func NewMap(r, c int) *Map {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("defect: invalid shape %d×%d", r, c))
+	}
+	return &Map{
+		R: r, C: c,
+		points:    make([]Kind, r*c),
+		RowBroken: make([]bool, r), ColBroken: make([]bool, c),
+		RowBridges: make([]bool, maxInt(r-1, 0)), ColBridges: make([]bool, maxInt(c-1, 0)),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// At returns the crosspoint defect kind.
+func (m *Map) At(r, c int) Kind { return m.points[r*m.C+c] }
+
+// Set assigns a crosspoint defect kind.
+func (m *Map) Set(r, c int, k Kind) { m.points[r*m.C+c] = k }
+
+// CrosspointHealthy reports whether the crosspoint and both of its wires
+// are usable (no stuck fault, neither line broken).
+func (m *Map) CrosspointHealthy(r, c int) bool {
+	return m.At(r, c) == None && !m.RowBroken[r] && !m.ColBroken[c]
+}
+
+// CountCrosspointDefects returns the number of defective crosspoints.
+func (m *Map) CountCrosspointDefects() int {
+	n := 0
+	for _, k := range m.points {
+		if k != None {
+			n++
+		}
+	}
+	return n
+}
+
+// AnyDefect reports whether the map contains any defect at all.
+func (m *Map) AnyDefect() bool {
+	if m.CountCrosspointDefects() > 0 {
+		return true
+	}
+	for _, b := range m.RowBroken {
+		if b {
+			return true
+		}
+	}
+	for _, b := range m.ColBroken {
+		if b {
+			return true
+		}
+	}
+	for _, b := range m.RowBridges {
+		if b {
+			return true
+		}
+	}
+	for _, b := range m.ColBridges {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy.
+func (m *Map) Clone() *Map {
+	c := NewMap(m.R, m.C)
+	copy(c.points, m.points)
+	copy(c.RowBroken, m.RowBroken)
+	copy(c.ColBroken, m.ColBroken)
+	copy(c.RowBridges, m.RowBridges)
+	copy(c.ColBridges, m.ColBridges)
+	return c
+}
+
+// String renders the crosspoint map ('.', 'o' stuck-open, 'c' stuck-
+// closed) with '!' margins marking broken wires.
+func (m *Map) String() string {
+	var sb strings.Builder
+	for r := 0; r < m.R; r++ {
+		if m.RowBroken[r] {
+			sb.WriteByte('!')
+		} else {
+			sb.WriteByte(' ')
+		}
+		for c := 0; c < m.C; c++ {
+			switch m.At(r, c) {
+			case None:
+				sb.WriteByte('.')
+			case StuckOpen:
+				sb.WriteByte('o')
+			case StuckClosed:
+				sb.WriteByte('c')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteByte(' ')
+	for c := 0; c < m.C; c++ {
+		if m.ColBroken[c] {
+			sb.WriteByte('!')
+		} else {
+			sb.WriteByte(' ')
+		}
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Params control random defect generation. All probabilities are per
+// resource (crosspoint or wire). When Clustered is set, defects
+// additionally concentrate around ClusterCount random centers within
+// ClusterRadius, multiplying the local crosspoint probability by
+// ClusterBoost (capped at 1) — modeling the spatially correlated defect
+// distributions the hybrid BISM targets.
+type Params struct {
+	PStuckOpen   float64
+	PStuckClosed float64
+	PRowBreak    float64
+	PColBreak    float64
+	PRowBridge   float64
+	PColBridge   float64
+
+	Clustered     bool
+	ClusterCount  int
+	ClusterRadius int
+	ClusterBoost  float64
+}
+
+// UniformCrosspoint returns parameters with only crosspoint defects:
+// the given total density split 80/20 between stuck-open and
+// stuck-closed (open defects dominate in self-assembled crossbars).
+func UniformCrosspoint(density float64) Params {
+	return Params{PStuckOpen: density * 0.8, PStuckClosed: density * 0.2}
+}
+
+// Random draws a defect map.
+func Random(r, c int, p Params, rng *rand.Rand) *Map {
+	m := NewMap(r, c)
+	boost := func(ri, ci int) float64 { return 1 }
+	if p.Clustered && p.ClusterCount > 0 {
+		type pt struct{ r, c int }
+		centers := make([]pt, p.ClusterCount)
+		for i := range centers {
+			centers[i] = pt{rng.Intn(r), rng.Intn(c)}
+		}
+		boost = func(ri, ci int) float64 {
+			for _, ct := range centers {
+				dr, dc := ri-ct.r, ci-ct.c
+				if dr < 0 {
+					dr = -dr
+				}
+				if dc < 0 {
+					dc = -dc
+				}
+				if dr+dc <= p.ClusterRadius {
+					return p.ClusterBoost
+				}
+			}
+			return 1
+		}
+	}
+	for ri := 0; ri < r; ri++ {
+		for ci := 0; ci < c; ci++ {
+			b := boost(ri, ci)
+			po := minF(p.PStuckOpen*b, 1)
+			pc := minF(p.PStuckClosed*b, 1)
+			u := rng.Float64()
+			switch {
+			case u < po:
+				m.Set(ri, ci, StuckOpen)
+			case u < po+pc:
+				m.Set(ri, ci, StuckClosed)
+			}
+		}
+	}
+	for ri := 0; ri < r; ri++ {
+		m.RowBroken[ri] = rng.Float64() < p.PRowBreak
+	}
+	for ci := 0; ci < c; ci++ {
+		m.ColBroken[ci] = rng.Float64() < p.PColBreak
+	}
+	for ri := 0; ri+1 < r; ri++ {
+		m.RowBridges[ri] = rng.Float64() < p.PRowBridge
+	}
+	for ci := 0; ci+1 < c; ci++ {
+		m.ColBridges[ci] = rng.Float64() < p.PColBridge
+	}
+	return m
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package defect
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewMapClean(t *testing.T) {
+	m := NewMap(4, 5)
+	if m.AnyDefect() || m.CountCrosspointDefects() != 0 {
+		t.Fatal("fresh map must be clean")
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if !m.CrosspointHealthy(r, c) {
+				t.Fatal("fresh crosspoint unhealthy")
+			}
+		}
+	}
+}
+
+func TestSetAndHealth(t *testing.T) {
+	m := NewMap(3, 3)
+	m.Set(1, 2, StuckOpen)
+	if m.At(1, 2) != StuckOpen || m.CrosspointHealthy(1, 2) {
+		t.Fatal("stuck-open not recorded")
+	}
+	if !m.AnyDefect() || m.CountCrosspointDefects() != 1 {
+		t.Fatal("counts wrong")
+	}
+	m2 := NewMap(3, 3)
+	m2.RowBroken[0] = true
+	if m2.CrosspointHealthy(0, 1) || !m2.AnyDefect() {
+		t.Fatal("broken row must poison its crosspoints")
+	}
+	if m2.CrosspointHealthy(1, 1) == false {
+		t.Fatal("other rows unaffected")
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	m := Random(n, n, UniformCrosspoint(0.1), rng)
+	d := m.CountCrosspointDefects()
+	// Expect ~410 of 4096; allow wide slack.
+	if d < 250 || d > 600 {
+		t.Fatalf("defect count %d implausible for p=0.1", d)
+	}
+	// Stuck-open should dominate 80/20.
+	open := 0
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if m.At(r, c) == StuckOpen {
+				open++
+			}
+		}
+	}
+	if float64(open)/float64(d) < 0.6 {
+		t.Fatalf("open fraction %d/%d too low", open, d)
+	}
+}
+
+func TestRandomZeroDensityClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Random(16, 16, Params{}, rng)
+	if m.AnyDefect() {
+		t.Fatal("zero-probability map must be clean")
+	}
+}
+
+func TestRandomReproducible(t *testing.T) {
+	a := Random(8, 8, UniformCrosspoint(0.2), rand.New(rand.NewSource(7)))
+	b := Random(8, 8, UniformCrosspoint(0.2), rand.New(rand.NewSource(7)))
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if a.At(r, c) != b.At(r, c) {
+				t.Fatal("same seed must give same map")
+			}
+		}
+	}
+}
+
+func TestClusteredConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := UniformCrosspoint(0.01)
+	p.Clustered = true
+	p.ClusterCount = 2
+	p.ClusterRadius = 4
+	p.ClusterBoost = 30
+	n := 48
+	trials := 20
+	clustered, uniform := 0, 0
+	for i := 0; i < trials; i++ {
+		clustered += Random(n, n, p, rng).CountCrosspointDefects()
+		uniform += Random(n, n, UniformCrosspoint(0.01), rng).CountCrosspointDefects()
+	}
+	if clustered <= uniform {
+		t.Fatalf("clustering should add local defects: %d vs %d", clustered, uniform)
+	}
+}
+
+func TestLineDefects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Params{PRowBreak: 1, PColBridge: 1}
+	m := Random(4, 4, p, rng)
+	for r := 0; r < 4; r++ {
+		if !m.RowBroken[r] {
+			t.Fatal("row break probability 1 must break all rows")
+		}
+	}
+	for c := 0; c+1 < 4; c++ {
+		if !m.ColBridges[c] {
+			t.Fatal("col bridge probability 1 must bridge all columns")
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMap(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, StuckClosed)
+	c.RowBroken[1] = true
+	if m.At(0, 0) != None || m.RowBroken[1] {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	m := NewMap(2, 3)
+	m.Set(0, 1, StuckOpen)
+	m.Set(1, 2, StuckClosed)
+	m.RowBroken[1] = true
+	s := m.String()
+	if !strings.Contains(s, "o") || !strings.Contains(s, "c") || !strings.Contains(s, "!") {
+		t.Fatalf("rendering missing markers:\n%s", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if None.String() != "ok" || StuckOpen.String() != "stuck-open" || StuckClosed.String() != "stuck-closed" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestNewMapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMap(0, 1)
+}

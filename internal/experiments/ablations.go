@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nanoxbar/internal/benchfn"
+	"nanoxbar/internal/bism"
+	"nanoxbar/internal/defect"
+	"nanoxbar/internal/latsynth"
+)
+
+// AblationSynthesis isolates the synthesis design choices DESIGN.md §5
+// calls out: exact vs ISOP covers, the crosspoint literal heuristic,
+// and the post-reduction pass. Each row is one benchmark function; each
+// column one configuration of the dual-method synthesizer.
+func AblationSynthesis() *Report {
+	type cfg struct {
+		name string
+		opts latsynth.Options
+	}
+	base := latsynth.DefaultOptions()
+	noReduce := base
+	noReduce.PostReduce = false
+	firstCell := base
+	firstCell.Cells = latsynth.FirstCommon
+	heur := base
+	heur.Exact = false
+	cfgs := []cfg{
+		{"exact+freq+reduce", base},
+		{"no-postreduce", noReduce},
+		{"first-literal", firstCell},
+		{"isop-covers", heur},
+	}
+	sums := make([]int, len(cfgs))
+	var rows [][]string
+	count := 0
+	for _, s := range benchfn.Suite() {
+		if s.N() > 7 {
+			continue
+		}
+		row := []string{s.Name}
+		ok := true
+		areas := make([]int, len(cfgs))
+		for i, c := range cfgs {
+			res, err := latsynth.DualMethod(s.F, c.opts)
+			if err != nil {
+				ok = false
+				break
+			}
+			areas[i] = res.Area()
+			row = append(row, fmt.Sprint(res.Area()))
+		}
+		if !ok {
+			continue
+		}
+		count++
+		for i, a := range areas {
+			sums[i] += a
+		}
+		rows = append(rows, row)
+	}
+	header := "name"
+	for _, c := range cfgs {
+		header += "\t" + c.name
+	}
+	lines := table(header, rows)
+	totals := "totals"
+	for _, s := range sums {
+		totals += fmt.Sprintf("\t%d", s)
+	}
+	lines = append(lines, table(header, [][]string{splitTabs(totals)})[1])
+	metrics := map[string]float64{}
+	for i, c := range cfgs {
+		metrics["area_"+c.name] = float64(sums[i])
+	}
+	metrics["functions"] = float64(count)
+	return &Report{
+		ID:      "A1",
+		Title:   "synthesis ablations: covers, cell heuristic, post-reduction",
+		Lines:   lines,
+		Metrics: metrics,
+	}
+}
+
+func splitTabs(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\t' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}
+
+// AblationHybridThreshold sweeps the hybrid BISM blind-retry budget at
+// a mid defect density, the knob DESIGN.md §5 highlights: too small
+// wastes diagnosis on easy chips, too large degenerates to blind.
+func AblationHybridThreshold() *Report {
+	rng := rand.New(rand.NewSource(17))
+	n, appDim, trials, budget := 32, 8, 80, 300
+	density := 0.06
+	diagCost := 10.0
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, bb := range []int{1, 2, 4, 8, 16, 32} {
+		m := bism.Hybrid{BlindBudget: bb}
+		ok := 0
+		cost := 0.0
+		for t := 0; t < trials; t++ {
+			dm := defect.Random(n, n, defect.UniformCrosspoint(density), rng)
+			app := bism.RandomApp(appDim, appDim, 0.5, rng)
+			mp, st := m.Map(bism.NewChip(dm), app, budget, rng)
+			if mp != nil {
+				ok++
+			}
+			cost += st.Cost(diagCost)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(bb),
+			fmt.Sprintf("%d%%", ok*100/trials),
+			fmt.Sprintf("%.1f", cost/float64(trials)),
+		})
+		metrics[fmt.Sprintf("cost_bb%d", bb)] = cost / float64(trials)
+	}
+	lines := table("blind budget\tsuccess\tmean cost", rows)
+	lines = append(lines, fmt.Sprintf("chip %d×%d, app %d×%d, density %.2f, BISD %.0f× BIST",
+		n, n, appDim, appDim, density, diagCost))
+	return &Report{
+		ID:      "A2",
+		Title:   "hybrid BISM blind-budget sweep",
+		Lines:   lines,
+		Metrics: metrics,
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nanoxbar/internal/benchfn"
+	"nanoxbar/internal/latsynth"
+	"nanoxbar/internal/redundancy"
+	"nanoxbar/internal/variation"
+)
+
+// E10Variation covers the paper's variation-tolerance objective
+// (§IV introduction): parametric delay spread of lattice
+// implementations, the guard band needed for predictable timing, and
+// the gain from variation-aware placement on the reconfigurable array.
+func E10Variation() *Report {
+	opts := latsynth.DefaultOptions()
+	rng := rand.New(rand.NewSource(11))
+	specs := []benchfn.Spec{
+		benchfn.Majority(3),
+		benchfn.PaperExample(),
+		benchfn.AdderBit(2, 1),
+		benchfn.Mux(2),
+	}
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, s := range specs {
+		res, err := latsynth.DualMethod(s.F, opts)
+		if err != nil {
+			continue
+		}
+		l := res.Lattice
+		for _, sigma := range []float64{0.2, 0.5} {
+			mean, p99 := variation.GuardBand(l, s.N(), sigma, 150, 0.99, rng)
+			// Placement study on a chip with slack around the lattice.
+			var gain float64
+			trials := 20
+			for t := 0; t < trials; t++ {
+				m := variation.Lognormal(l.R+6, l.C+6, sigma, rng)
+				best, worst := variation.BestPlacement(l, m, s.N(), 1)
+				if worst.Delay > 0 {
+					gain += (worst.Delay - best.Delay) / worst.Delay
+				}
+			}
+			gain = 100 * gain / float64(trials)
+			rows = append(rows, []string{
+				s.Name, fmt.Sprintf("%d×%d", l.R, l.C), fmt.Sprintf("%.1f", sigma),
+				fmt.Sprintf("%.2f", mean), fmt.Sprintf("%.2f", p99),
+				fmt.Sprintf("%.0f%%", 100*(p99/mean-1)),
+				fmt.Sprintf("%.0f%%", gain),
+			})
+			if s.Name == "maj3" {
+				metrics[fmt.Sprintf("p99_over_mean_s%.1f", sigma)] = p99 / mean
+				metrics[fmt.Sprintf("placement_gain_s%.1f", sigma)] = gain
+			}
+		}
+	}
+	lines := table("function\tlattice\tσ\tmean delay\tp99 delay\tguard band\tplacement gain", rows)
+	lines = append(lines, "guard band = extra margin beyond mean; placement gain = worst→best offset improvement")
+	return &Report{ID: "E10", Title: "parametric variation tolerance (§IV objective)", Lines: lines, Metrics: metrics}
+}
+
+// E11Lifetime covers the paper's lifetime-reliability objective:
+// transient-error masking by modular redundancy and permanent-fault
+// repair by periodic retest + self-remapping.
+func E11Lifetime() *Report {
+	opts := latsynth.DefaultOptions()
+	rng := rand.New(rand.NewSource(13))
+	spec := benchfn.Majority(3)
+	res, err := latsynth.DualMethod(spec.F, opts)
+	if err != nil {
+		return &Report{ID: "E11", Title: "lifetime reliability", Lines: []string{"synthesis failed: " + err.Error()}}
+	}
+	l := res.Lattice
+
+	// Transient masking sweep.
+	var rows [][]string
+	metrics := map[string]float64{}
+	for _, p := range []float64{0.002, 0.01, 0.05} {
+		bare, tmr := redundancy.ErrorRates(l, spec.N(), 3, p, 6000, rng)
+		_, fmr := redundancy.ErrorRates(l, spec.N(), 5, p, 6000, rng)
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", p),
+			fmt.Sprintf("%.4f", bare), fmt.Sprintf("%.4f", tmr), fmt.Sprintf("%.4f", fmr),
+			fmt.Sprintf("%d", l.Area()), fmt.Sprintf("%d", 3*l.Area()), fmt.Sprintf("%d", 5*l.Area()),
+		})
+		if p == 0.01 {
+			metrics["bare_err"] = bare
+			metrics["tmr_err"] = tmr
+		}
+	}
+	lines := table("upset p\tbare err\tTMR err\t5MR err\tarea\tTMR area\t5MR area", rows)
+
+	// Permanent-fault aging: lifetime with and without self-repair.
+	var ageRows [][]string
+	for _, period := range []int{0, 8, 2} {
+		alive, remaps, trials := 0, 0, 12
+		for s := int64(0); s < int64(trials); s++ {
+			r := redundancy.Lifetime(l, spec.N(), redundancy.LifetimeParams{
+				ChipN: 24, FaultsPerEp: 1.0, Epochs: 400,
+				RetestEvery: period, RemapBudget: 200, Seed: 100 + s,
+			})
+			alive += r.EpochsAlive
+			remaps += r.Remaps
+		}
+		name := "no repair"
+		if period > 0 {
+			name = fmt.Sprintf("retest every %d", period)
+		}
+		ageRows = append(ageRows, []string{
+			name,
+			fmt.Sprintf("%.0f", float64(alive)/float64(trials)),
+			fmt.Sprintf("%.1f", float64(remaps)/float64(trials)),
+		})
+		metrics[fmt.Sprintf("alive_period_%d", period)] = float64(alive) / float64(trials)
+	}
+	lines = append(lines, "")
+	lines = append(lines, table("repair policy\tmean epochs alive (of 400)\tmean remaps", ageRows)...)
+	lines = append(lines, "24×24 chip, 1 permanent fault/epoch expected, maj3 lattice migrated by self-repair")
+	return &Report{ID: "E11", Title: "lifetime reliability: TMR + retest/remap (§IV objective)", Lines: lines, Metrics: metrics}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestE1PaperAnchors(t *testing.T) {
+	r := E1TwoTerminalSizes()
+	if r.Metrics["xnor2_diode_area"] != 10 {
+		t.Fatalf("xnor2 diode area %v, paper says 2×5", r.Metrics["xnor2_diode_area"])
+	}
+	if r.Metrics["xnor2_fet_area"] != 16 {
+		t.Fatalf("xnor2 FET area %v, paper says 4×4", r.Metrics["xnor2_fet_area"])
+	}
+}
+
+func TestE2LatticeFavorable(t *testing.T) {
+	r := E2FourTerminalComparison()
+	wins, total := r.Metrics["lattice_wins"], r.Metrics["total"]
+	if total < 10 {
+		t.Fatalf("suite too small: %v", total)
+	}
+	if wins*3 < total*2 {
+		t.Fatalf("paper claim violated: lattice smallest only %v/%v", wins, total)
+	}
+	if r.Metrics["mean_lat_area"] >= r.Metrics["mean_diode_area"] {
+		t.Fatal("mean lattice area should beat diode")
+	}
+}
+
+func TestE3HandLattice(t *testing.T) {
+	r := E3Fig4()
+	if r.Metrics["correct"] != 1 {
+		t.Fatal("Fig.4 hand lattice incorrect")
+	}
+	if r.Metrics["hand_area"] != 6 {
+		t.Fatalf("hand area %v", r.Metrics["hand_area"])
+	}
+	if r.Metrics["dual_area"] < r.Metrics["hand_area"] {
+		t.Fatal("dual method cannot beat the hand lattice here")
+	}
+}
+
+func TestE4DecompositionHelps(t *testing.T) {
+	r := E4PCircuit()
+	if r.Metrics["tried_exact"] < 5 {
+		t.Fatal("too few functions")
+	}
+	if r.Metrics["improved_exact"] < 1 {
+		t.Fatal("decomposition never improved with exact covers")
+	}
+	if r.Metrics["improved_isop"] < 1 {
+		t.Fatal("decomposition never improved with isop covers")
+	}
+}
+
+func TestE5DReducibleHelps(t *testing.T) {
+	r := E5DReducible()
+	if r.Metrics["tried"] < 10 {
+		t.Fatal("too few functions")
+	}
+	// The technique targets functions whose projection is genuinely
+	// smaller (large n, low codimension); there it must win nearly
+	// always, and the overall family mean must still improve.
+	if r.Metrics["big_improved"] < r.Metrics["big_tried"]-1 {
+		t.Fatalf("target regime improved only %v/%v", r.Metrics["big_improved"], r.Metrics["big_tried"])
+	}
+	if r.Metrics["improved"]*3 < r.Metrics["tried"] {
+		t.Fatalf("D-reduction improved only %v/%v overall", r.Metrics["improved"], r.Metrics["tried"])
+	}
+	if r.Metrics["mean_dec"] >= r.Metrics["mean_direct"] {
+		t.Fatal("mean decomposed area should improve")
+	}
+}
+
+func TestE6FullCoverage(t *testing.T) {
+	r := E6BIST()
+	if r.Metrics["coverage_16"] != 1 {
+		t.Fatalf("coverage %v != 100%%", r.Metrics["coverage_16"])
+	}
+}
+
+func TestE7RegimeSeparation(t *testing.T) {
+	p := DefaultE7Params()
+	p.Trials = 25 // keep the unit test fast; benches run the full sweep
+	r := E7BISM(p)
+	// At the lowest density everything succeeds.
+	if r.Metrics["blind_ok_0.001"] < 0.9 {
+		t.Fatalf("blind at 0.001: %v", r.Metrics["blind_ok_0.001"])
+	}
+	// At the highest density blind collapses but greedy survives.
+	blind := r.Metrics["blind_ok_0.150"]
+	greedy := r.Metrics["greedy_ok_0.150"]
+	if greedy <= blind {
+		t.Fatalf("no regime separation: blind %v greedy %v", blind, greedy)
+	}
+	// Hybrid close to the better scheme at both ends.
+	if r.Metrics["hybrid(4)_ok_0.150"] < greedy-0.25 {
+		t.Fatalf("hybrid lost at high density: %v vs %v", r.Metrics["hybrid(4)_ok_0.150"], greedy)
+	}
+}
+
+func TestE8FlowAdvantage(t *testing.T) {
+	p := DefaultE8Params()
+	p.Trials = 15
+	p.Ns = []int{16, 32}
+	r := E8DefectUnaware(p)
+	if r.Metrics["cost_advantage"] <= 1 {
+		t.Fatalf("defect-unaware flow should win at scale: %v", r.Metrics["cost_advantage"])
+	}
+	// k degrades with density.
+	if r.Metrics["meanK_n32_p0.01"] <= r.Metrics["meanK_n32_p0.20"] {
+		t.Fatal("recovered k should fall with density")
+	}
+}
+
+func TestE9Extension(t *testing.T) {
+	r := E9ArithSSM()
+	if r.Metrics["ssm_equiv"] != 1 {
+		t.Fatal("SSM not equivalent to reference")
+	}
+	if r.Metrics["adder8_area"] <= r.Metrics["adder2_area"] {
+		t.Fatal("adder area must grow with width")
+	}
+	// Linear-ish growth: 8-bit no more than ~6× the 2-bit cost.
+	if r.Metrics["adder8_area"] > 6*r.Metrics["adder2_area"] {
+		t.Fatalf("adder area superlinear: %v vs %v", r.Metrics["adder8_area"], r.Metrics["adder2_area"])
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := E3Fig4()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "E3") || !strings.Contains(s, "TOP") {
+		t.Fatalf("report rendering:\n%s", s)
+	}
+}
+
+func TestE10VariationShape(t *testing.T) {
+	r := E10Variation()
+	// Guard band must widen with sigma and placement must help.
+	if r.Metrics["p99_over_mean_s0.5"] <= r.Metrics["p99_over_mean_s0.2"] {
+		t.Fatalf("guard band not widening: %v vs %v",
+			r.Metrics["p99_over_mean_s0.2"], r.Metrics["p99_over_mean_s0.5"])
+	}
+	if r.Metrics["placement_gain_s0.5"] <= 0 {
+		t.Fatal("variation-aware placement gain must be positive")
+	}
+}
+
+func TestE11LifetimeShape(t *testing.T) {
+	r := E11Lifetime()
+	if r.Metrics["tmr_err"] >= r.Metrics["bare_err"] {
+		t.Fatalf("TMR must suppress transients: %v vs %v",
+			r.Metrics["tmr_err"], r.Metrics["bare_err"])
+	}
+	// Repair extends lifetime, and more frequent retest extends it more.
+	if r.Metrics["alive_period_8"] <= r.Metrics["alive_period_0"] {
+		t.Fatal("repair did not extend lifetime")
+	}
+	if r.Metrics["alive_period_2"] < r.Metrics["alive_period_8"] {
+		t.Fatal("more frequent retest should not shorten lifetime")
+	}
+}
+
+func TestAblationSynthesis(t *testing.T) {
+	r := AblationSynthesis()
+	if r.Metrics["functions"] < 10 {
+		t.Fatal("too few functions in the ablation")
+	}
+	full := r.Metrics["area_exact+freq+reduce"]
+	if full > r.Metrics["area_no-postreduce"] {
+		t.Fatal("post-reduction must never grow total area")
+	}
+	if full > r.Metrics["area_isop-covers"] {
+		t.Fatal("exact covers must not lose to ISOP in total area")
+	}
+}
+
+func TestAblationHybridThreshold(t *testing.T) {
+	r := AblationHybridThreshold()
+	// The sweep must produce costs for every budget; the largest budget
+	// behaves like blind (more configs at this density), so the best
+	// cost should not be at the extreme right.
+	best, bestKey := 1e18, ""
+	for k, v := range r.Metrics {
+		if v < best {
+			best, bestKey = v, k
+		}
+	}
+	if bestKey == "cost_bb32" {
+		t.Fatalf("unexpected: largest blind budget cheapest (%v)", r.Metrics)
+	}
+}

@@ -1,0 +1,244 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if Dot(0b101, 0b100) != 1 || Dot(0b101, 0b101) != 0 || Dot(0, 0xffff) != 0 {
+		t.Fatal("dot products wrong")
+	}
+}
+
+func TestRREFIdentity(t *testing.T) {
+	m := NewMatrix(3, 0b001, 0b010, 0b100)
+	p := m.RREF()
+	if len(p) != 3 {
+		t.Fatalf("pivots = %v", p)
+	}
+	if m.Rows[0] != 1 || m.Rows[1] != 2 || m.Rows[2] != 4 {
+		t.Fatalf("rows = %v", m.Rows)
+	}
+}
+
+func TestRankAndDependence(t *testing.T) {
+	m := NewMatrix(4, 0b0011, 0b0110, 0b0101) // r3 = r1 ⊕ r2
+	if m.Rank() != 2 {
+		t.Fatalf("rank = %d", m.Rank())
+	}
+	if len(m.Rows) != 3 {
+		t.Fatal("Rank must not modify the matrix")
+	}
+}
+
+func TestNullSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		cols := 1 + rng.Intn(10)
+		nRows := rng.Intn(6)
+		rows := make([]uint64, nRows)
+		for j := range rows {
+			rows[j] = rng.Uint64() & mask(cols)
+		}
+		m := NewMatrix(cols, rows...)
+		ns := m.NullSpace()
+		// Dimension theorem.
+		if len(ns)+m.Rank() != cols {
+			t.Fatalf("rank %d + nullity %d != %d", m.Rank(), len(ns), cols)
+		}
+		// Every basis vector is annihilated by every row.
+		for _, v := range ns {
+			for _, r := range rows {
+				if Dot(r, v) != 0 {
+					t.Fatalf("null vector %b not annihilated by row %b", v, r)
+				}
+			}
+		}
+		// Null basis is independent.
+		nm := NewMatrix(cols, ns...)
+		if nm.Rank() != len(ns) {
+			t.Fatal("null basis dependent")
+		}
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	m := NewMatrix(4, 0b0011, 0b0110)
+	cases := map[uint64]bool{
+		0b0000: true, 0b0011: true, 0b0110: true, 0b0101: true,
+		0b0001: false, 0b1000: false, 0b0111: false,
+	}
+	for v, want := range cases {
+		if m.SpanContains(v) != want {
+			t.Fatalf("SpanContains(%04b) != %v", v, want)
+		}
+	}
+}
+
+func TestAffineHullFullSpace(t *testing.T) {
+	// All 8 points of GF(2)^3 → hull is the whole space.
+	pts := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	a := AffineHull(3, pts)
+	if a.Dim() != 3 {
+		t.Fatalf("dim = %d", a.Dim())
+	}
+}
+
+func TestAffineHullSinglePoint(t *testing.T) {
+	a := AffineHull(5, []uint64{0b10110})
+	if a.Dim() != 0 {
+		t.Fatal("single point hull must be 0-dim")
+	}
+	if !a.Contains(0b10110) || a.Contains(0) {
+		t.Fatal("containment wrong")
+	}
+	checks := a.ParityChecks()
+	if len(checks) != 5 {
+		t.Fatalf("%d checks", len(checks))
+	}
+}
+
+func TestAffineHullPlane(t *testing.T) {
+	// Points with x0 ⊕ x1 = 1 inside GF(2)^3: an affine plane of dim 2.
+	var pts []uint64
+	for x := uint64(0); x < 8; x++ {
+		if (x&1)^(x>>1&1) == 1 {
+			pts = append(pts, x)
+		}
+	}
+	a := AffineHull(3, pts)
+	if a.Dim() != 2 {
+		t.Fatalf("dim = %d", a.Dim())
+	}
+	for x := uint64(0); x < 8; x++ {
+		want := (x&1)^(x>>1&1) == 1
+		if a.Contains(x) != want {
+			t.Fatalf("Contains(%03b) = %v", x, a.Contains(x))
+		}
+	}
+	checks := a.ParityChecks()
+	if len(checks) != 1 {
+		t.Fatalf("checks = %v", checks)
+	}
+	for x := uint64(0); x < 8; x++ {
+		want := (x&1)^(x>>1&1) == 1
+		if checks[0].Holds(x) != want {
+			t.Fatal("parity check disagrees with membership")
+		}
+	}
+}
+
+func TestParityChecksCharacterize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		n := 2 + rng.Intn(7)
+		k := 1 + rng.Intn(4)
+		pts := make([]uint64, k)
+		for j := range pts {
+			pts[j] = rng.Uint64() & mask(n)
+		}
+		a := AffineHull(n, pts)
+		checks := a.ParityChecks()
+		if len(checks) != n-a.Dim() {
+			t.Fatalf("%d checks for dim %d in n=%d", len(checks), a.Dim(), n)
+		}
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			all := true
+			for _, c := range checks {
+				if !c.Holds(x) {
+					all = false
+					break
+				}
+			}
+			if all != a.Contains(x) {
+				t.Fatalf("checks vs Contains mismatch at %b", x)
+			}
+		}
+	}
+}
+
+func TestFreeCoordinatesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 60; i++ {
+		n := 2 + rng.Intn(7)
+		k := 1 + rng.Intn(5)
+		pts := make([]uint64, k)
+		for j := range pts {
+			pts[j] = rng.Uint64() & mask(n)
+		}
+		a := AffineHull(n, pts)
+		free := a.FreeCoordinates()
+		if len(free) != a.Dim() {
+			t.Fatalf("free = %v, dim = %d", free, a.Dim())
+		}
+		// Every assignment of free coordinates yields a distinct point
+		// of A with those coordinate values.
+		seen := make(map[uint64]bool)
+		for fv := uint64(0); fv < 1<<uint(len(free)); fv++ {
+			x := a.PointFromFree(free, fv)
+			if !a.Contains(x) {
+				t.Fatalf("reconstructed point %b not in A", x)
+			}
+			for bi, c := range free {
+				if x>>uint(c)&1 != fv>>uint(bi)&1 {
+					t.Fatalf("free coordinate %d wrong in %b", c, x)
+				}
+			}
+			if seen[x] {
+				t.Fatal("duplicate point from distinct free values")
+			}
+			seen[x] = true
+		}
+		if len(seen) != 1<<uint(a.Dim()) {
+			t.Fatal("parameterization not a bijection")
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	a := AffineHull(4, []uint64{0b0001, 0b0010, 0b0100})
+	var cnt int
+	a.Enumerate(func(x uint64) {
+		if !a.Contains(x) {
+			t.Fatalf("enumerated %b outside A", x)
+		}
+		cnt++
+	})
+	if cnt != 1<<uint(a.Dim()) {
+		t.Fatalf("enumerated %d points", cnt)
+	}
+}
+
+func TestHullContainsAllInputs(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		k := 1 + rng.Intn(6)
+		pts := make([]uint64, k)
+		for j := range pts {
+			pts[j] = rng.Uint64() & mask(n)
+		}
+		a := AffineHull(n, pts)
+		for _, p := range pts {
+			if !a.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(65)
+}

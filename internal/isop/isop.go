@@ -1,0 +1,102 @@
+// Package isop computes irredundant sum-of-products covers with the
+// Minato–Morreale recursive algorithm, operating on truth-table
+// intervals.
+//
+// Given a lower bound L and an upper bound U with L ⇒ U, Cover returns an
+// irredundant cover c of some function g with L ⇒ g ⇒ U. With L = U = f
+// this is an irredundant SOP of f; the don't-care gap between L and U is
+// the flexibility the P-circuit decomposition of the DATE'17 paper
+// exploits.
+//
+// Unlike the exact Quine–McCluskey minimizer (package qm), ISOP is
+// polynomial per cube and scales to the full 24-variable range of
+// package truthtab, at the cost of yielding an irredundant rather than a
+// minimum cover.
+package isop
+
+import (
+	"fmt"
+
+	"nanoxbar/internal/cube"
+	"nanoxbar/internal/truthtab"
+)
+
+// Cover returns an irredundant SOP cover c with L ⇒ cover(c) ⇒ U.
+// It panics if L does not imply U.
+func Cover(L, U truthtab.TT) cube.Cover {
+	if L.NumVars() != U.NumVars() {
+		panic("isop: variable count mismatch")
+	}
+	if !L.Implies(U) {
+		panic(fmt.Sprintf("isop: L does not imply U (L=%v, U=%v)", L, U))
+	}
+	cv, _ := irredundant(L, U, 0)
+	return cv
+}
+
+// OfTT returns an irredundant SOP of f (no don't-cares).
+func OfTT(f truthtab.TT) cube.Cover { return Cover(f, f) }
+
+// irredundant implements Minato–Morreale. v is the lowest variable index
+// that may still be split on. It returns the cover and the function the
+// cover computes (needed by the recursion to build the "both halves"
+// remainder).
+func irredundant(L, U truthtab.TT, v int) (cube.Cover, truthtab.TT) {
+	n := L.NumVars()
+	if L.IsZero() {
+		return nil, truthtab.Zero(n)
+	}
+	if U.IsOne() {
+		return cube.Cover{cube.Universe}, truthtab.One(n)
+	}
+	// Find the next variable either bound depends on. Since L ⇒ U and
+	// U is not the constant 1 while L is not 0, some variable must
+	// remain.
+	split := -1
+	for i := v; i < n; i++ {
+		if L.DependsOn(i) || U.DependsOn(i) {
+			split = i
+			break
+		}
+	}
+	if split < 0 {
+		// L is a nonzero constant function of the remaining vars,
+		// i.e. L = U = 1 on this subspace; handled above unless the
+		// bounds were inconsistent.
+		panic("isop: no splitting variable (inconsistent bounds)")
+	}
+	l0, l1 := L.Cofactor(split, false), L.Cofactor(split, true)
+	u0, u1 := U.Cofactor(split, false), U.Cofactor(split, true)
+
+	// Cubes that must carry the literal x': needed where the 0-half
+	// requires coverage the 1-half cannot absorb.
+	c0, g0 := irredundant(l0.AndNot(u1), u0, split+1)
+	// Cubes that must carry the literal x.
+	c1, g1 := irredundant(l1.AndNot(u0), u1, split+1)
+	// Remainder to be covered without the split literal.
+	rem := l0.AndNot(g0).Or(l1.AndNot(g1))
+	cr, gr := irredundant(rem, u0.And(u1), split+1)
+
+	neg := cube.FromLiteral(split, true)
+	pos := cube.FromLiteral(split, false)
+	out := make(cube.Cover, 0, len(c0)+len(c1)+len(cr))
+	for _, c := range c0 {
+		m, ok := c.Intersect(neg)
+		if !ok {
+			panic("isop: contradictory cube in 0-branch")
+		}
+		out = append(out, m)
+	}
+	for _, c := range c1 {
+		m, ok := c.Intersect(pos)
+		if !ok {
+			panic("isop: contradictory cube in 1-branch")
+		}
+		out = append(out, m)
+	}
+	out = append(out, cr...)
+
+	x := truthtab.Var(n, split)
+	g := x.Not().And(g0).Or(x.And(g1)).Or(gr)
+	return out, g
+}

@@ -1,0 +1,41 @@
+package isop
+
+import (
+	"math/rand"
+	"testing"
+
+	"nanoxbar/internal/truthtab"
+)
+
+func benchTT(n int, seed int64) truthtab.TT {
+	rng := rand.New(rand.NewSource(seed))
+	t := truthtab.New(n)
+	for a := uint64(0); a < t.Size(); a++ {
+		if rng.Intn(2) == 1 {
+			t.SetBit(a, true)
+		}
+	}
+	return t
+}
+
+func BenchmarkISOP8Var(b *testing.B) {
+	f := benchTT(8, 1)
+	for i := 0; i < b.N; i++ {
+		OfTT(f)
+	}
+}
+
+func BenchmarkISOP12Var(b *testing.B) {
+	f := benchTT(12, 2)
+	for i := 0; i < b.N; i++ {
+		OfTT(f)
+	}
+}
+
+func BenchmarkISOPWithDontCares(b *testing.B) {
+	x, y := benchTT(8, 3), benchTT(8, 4)
+	L, U := x.And(y), x.Or(y)
+	for i := 0; i < b.N; i++ {
+		Cover(L, U)
+	}
+}

@@ -1,0 +1,249 @@
+// Package latsynth synthesizes four-terminal switching lattices for
+// Boolean functions, implementing the methods compared in Section III-B
+// of the DATE'17 paper:
+//
+//   - the Altun–Riedel dual-based construction ([2],[3] in the paper):
+//     columns from an SOP cover of f, rows from an SOP cover of the dual
+//     f^D, each crosspoint holding a literal shared by its row and
+//     column products — giving the Fig. 5 size #products(f^D) ×
+//     #products(f);
+//   - a bounded exhaustive optimal search (the stand-in for the
+//     SAT-based optimal synthesis of Gange–Søndergaard–Stuckey, [9]);
+//   - a row/column post-reduction pass;
+//   - a naive OR-of-columns SOP construction used as a baseline.
+package latsynth
+
+import (
+	"fmt"
+
+	"nanoxbar/internal/cube"
+	"nanoxbar/internal/isop"
+	"nanoxbar/internal/lattice"
+	"nanoxbar/internal/qm"
+	"nanoxbar/internal/truthtab"
+)
+
+// CellChoice selects how the dual method picks one of the shared
+// literals for a crosspoint.
+type CellChoice int
+
+// Cell literal selection heuristics.
+const (
+	// FirstCommon takes the lowest-indexed shared literal.
+	FirstCommon CellChoice = iota
+	// MostFrequent takes the shared literal occurring in the most
+	// candidate sets across the grid, which tends to help the
+	// post-reduction pass merge rows and columns.
+	MostFrequent
+)
+
+// Options configure synthesis.
+type Options struct {
+	// Exact requests exact minimum SOP covers (Quine–McCluskey) for f
+	// and f^D. When false, or when QM exceeds its limits, the
+	// irredundant Minato–Morreale covers are used instead.
+	Exact bool
+	// QM bounds the exact minimizer effort.
+	QM qm.Options
+	// Cells selects the crosspoint literal heuristic.
+	Cells CellChoice
+	// PostReduce runs the row/column deletion pass after construction.
+	PostReduce bool
+	// PostReduceMaxArea skips post-reduction on lattices larger than
+	// this (each deletion trial re-verifies the whole function, which
+	// is quadratic in area; 0 means the default of 1200).
+	PostReduceMaxArea int
+}
+
+// DefaultOptions are the settings used by the paper-reproduction
+// benches: exact covers where affordable, frequency-based cell choice,
+// post-reduction on.
+func DefaultOptions() Options {
+	return Options{Exact: true, QM: qm.DefaultOptions(), Cells: MostFrequent, PostReduce: true}
+}
+
+// postReduceLimit resolves the PostReduceMaxArea default.
+func (o Options) postReduceLimit() int {
+	if o.PostReduceMaxArea > 0 {
+		return o.PostReduceMaxArea
+	}
+	return 1200
+}
+
+// Result carries a synthesized lattice and its provenance.
+type Result struct {
+	Lattice   *lattice.Lattice
+	FCover    cube.Cover // SOP of f used for columns
+	DualCover cube.Cover // SOP of f^D used for rows
+	Method    string
+	ExactSOP  bool // covers are exact minimum SOPs
+}
+
+// Area returns the lattice area R·C.
+func (r *Result) Area() int { return r.Lattice.Area() }
+
+// Covers computes SOP covers for f and f^D per the options; exact when
+// requested and affordable, otherwise irredundant.
+func Covers(f truthtab.TT, opts Options) (fc, dc cube.Cover, exact bool) {
+	fd := f.Dual()
+	if opts.Exact {
+		c1, err1 := qm.MinimizeTT(f, opts.QM)
+		c2, err2 := qm.MinimizeTT(fd, opts.QM)
+		if err1 == nil && err2 == nil {
+			return c1, c2, true
+		}
+	}
+	return isop.OfTT(f), isop.OfTT(fd), false
+}
+
+// DualMethod synthesizes a lattice with the Altun–Riedel construction.
+// The resulting size is #products(f^D) rows × #products(f) columns
+// before post-reduction (the paper's Fig. 5 formula).
+func DualMethod(f truthtab.TT, opts Options) (*Result, error) {
+	if f.IsZero() {
+		return &Result{Lattice: lattice.Constant(false), Method: "dual"}, nil
+	}
+	if f.IsOne() {
+		return &Result{Lattice: lattice.Constant(true), Method: "dual"}, nil
+	}
+	fc, dc, exact := Covers(f, opts)
+	l, err := BuildDualGrid(fc, dc, opts.Cells)
+	if err != nil {
+		return nil, err
+	}
+	if !l.Implements(f) {
+		// The construction is proven correct for implicant covers of f
+		// and f^D; reaching this indicates a bug upstream.
+		return nil, fmt.Errorf("latsynth: dual-method lattice does not implement f (f=%v)", f)
+	}
+	if opts.PostReduce && l.Area() <= opts.postReduceLimit() {
+		l = PostReduce(l, f)
+	}
+	return &Result{Lattice: l, FCover: fc, DualCover: dc, Method: "dual", ExactSOP: exact}, nil
+}
+
+// BuildDualGrid assembles the dual-method grid from covers of f
+// (columns) and f^D (rows). Every row product and column product must
+// share a literal; by the implicant-sharing lemma this always holds when
+// fc covers f with implicants of f and dc covers f^D with implicants of
+// f^D.
+func BuildDualGrid(fc, dc cube.Cover, choice CellChoice) (*lattice.Lattice, error) {
+	if len(fc) == 0 || len(dc) == 0 {
+		return nil, fmt.Errorf("latsynth: empty cover")
+	}
+	rows, cols := len(dc), len(fc)
+	common := make([]cube.Cube, rows*cols)
+	freq := make(map[cube.Lit]int)
+	for i, q := range dc {
+		for j, p := range fc {
+			sh := q.CommonLiterals(p)
+			if sh.IsUniverse() {
+				return nil, fmt.Errorf("latsynth: products %v and %v share no literal", p, q)
+			}
+			common[i*cols+j] = sh
+			for _, lit := range sh.Literals() {
+				freq[lit]++
+			}
+		}
+	}
+	l := lattice.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			cands := common[i*cols+j].Literals()
+			pick := cands[0]
+			if choice == MostFrequent {
+				for _, cand := range cands[1:] {
+					if freq[cand] > freq[pick] {
+						pick = cand
+					}
+				}
+			}
+			l.Set(i, j, lattice.Lit(pick.Var, pick.Neg))
+		}
+	}
+	return l, nil
+}
+
+// PostReduce repeatedly deletes any single row or column whose removal
+// leaves the lattice still implementing f, until no deletion applies.
+// Deleting a wire is always physically realizable, so this is a safe
+// area optimization.
+func PostReduce(l *lattice.Lattice, f truthtab.TT) *lattice.Lattice {
+	cur := l
+	for {
+		improved := false
+		if cur.R > 1 {
+			for i := 0; i < cur.R; i++ {
+				cand := deleteRow(cur, i)
+				if cand.Implements(f) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved && cur.C > 1 {
+			for j := 0; j < cur.C; j++ {
+				cand := deleteCol(cur, j)
+				if cand.Implements(f) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+func deleteRow(l *lattice.Lattice, row int) *lattice.Lattice {
+	out := lattice.New(l.R-1, l.C)
+	for i, oi := 0, 0; i < l.R; i++ {
+		if i == row {
+			continue
+		}
+		for j := 0; j < l.C; j++ {
+			out.Set(oi, j, l.At(i, j))
+		}
+		oi++
+	}
+	return out
+}
+
+func deleteCol(l *lattice.Lattice, col int) *lattice.Lattice {
+	out := lattice.New(l.R, l.C-1)
+	for i := 0; i < l.R; i++ {
+		for j, oj := 0, 0; j < l.C; j++ {
+			if j == col {
+				continue
+			}
+			out.Set(i, oj, l.At(i, j))
+			oj++
+		}
+	}
+	return out
+}
+
+// SOPBaseline builds the naive composition lattice: the OR of one
+// column lattice per product of the cover. It is correct for any cover
+// and serves as the "no dual information" baseline.
+func SOPBaseline(f truthtab.TT, opts Options) (*Result, error) {
+	if f.IsZero() {
+		return &Result{Lattice: lattice.Constant(false), Method: "sop-or"}, nil
+	}
+	if f.IsOne() {
+		return &Result{Lattice: lattice.Constant(true), Method: "sop-or"}, nil
+	}
+	fc, _, exact := Covers(f, opts)
+	ls := make([]*lattice.Lattice, len(fc))
+	for i, c := range fc {
+		ls[i] = lattice.FromCube(c)
+	}
+	l := lattice.OrAll(ls...)
+	if !l.Implements(f) {
+		return nil, fmt.Errorf("latsynth: SOP baseline lattice incorrect")
+	}
+	return &Result{Lattice: l, FCover: fc, Method: "sop-or", ExactSOP: exact}, nil
+}

@@ -1,0 +1,170 @@
+package latsynth
+
+import (
+	"nanoxbar/internal/lattice"
+	"nanoxbar/internal/truthtab"
+)
+
+// OptimalOptions bound the exhaustive optimal lattice search.
+type OptimalOptions struct {
+	MaxArea        int  // largest lattice area to try (default 9)
+	NodeBudget     int  // backtracking node limit (default 2_000_000)
+	AllowConstants bool // permit Const0/Const1 sites (default true)
+}
+
+// DefaultOptimalOptions are tuned so functions of up to four support
+// variables finish interactively.
+func DefaultOptimalOptions() OptimalOptions {
+	return OptimalOptions{MaxArea: 9, NodeBudget: 2_000_000, AllowConstants: true}
+}
+
+// Optimal searches for a minimum-area lattice implementing f by
+// iterative deepening on the area and backtracking over site
+// assignments, pruning with monotone partial evaluations:
+//
+//   - if f(a)=1 yet no top-bottom path exists even with every unfilled
+//     site conducting, no completion can work;
+//   - if f(a)=0 yet a path exists using only definitely-conducting
+//     sites, no completion can work.
+//
+// It is the repository's stand-in for the SAT-based optimal synthesis of
+// reference [9]. The boolean result reports whether the search completed
+// within budget; when true and the lattice is non-nil, the lattice has
+// provably minimum area among shapes up to MaxArea.
+func Optimal(f truthtab.TT, opts OptimalOptions) (*lattice.Lattice, bool) {
+	if f.IsZero() {
+		return lattice.Constant(false), true
+	}
+	if f.IsOne() {
+		return lattice.Constant(true), true
+	}
+	n := f.NumVars()
+	var cands []lattice.Site
+	for v := 0; v < n; v++ {
+		if f.DependsOn(v) {
+			cands = append(cands, lattice.Lit(v, false), lattice.Lit(v, true))
+		}
+	}
+	if opts.AllowConstants {
+		cands = append(cands, lattice.Site{Kind: lattice.Const0}, lattice.Site{Kind: lattice.Const1})
+	}
+	budget := opts.NodeBudget
+	for area := 1; area <= opts.MaxArea; area++ {
+		for r := 1; r <= area; r++ {
+			if area%r != 0 {
+				continue
+			}
+			c := area / r
+			s := &optSearch{f: f, n: n, cands: cands, budget: &budget}
+			if got := s.run(r, c); got != nil {
+				return got, true
+			}
+			if budget <= 0 {
+				return nil, false
+			}
+		}
+	}
+	return nil, true
+}
+
+type optSearch struct {
+	f      truthtab.TT
+	n      int
+	cands  []lattice.Site
+	budget *int
+	l      *lattice.Lattice
+	filled int
+}
+
+func (s *optSearch) run(r, c int) *lattice.Lattice {
+	s.l = lattice.New(r, c)
+	s.filled = 0
+	if s.dfs() {
+		return s.l
+	}
+	return nil
+}
+
+// dfs fills sites row-major; returns true when a full assignment
+// implements f.
+func (s *optSearch) dfs() bool {
+	if *s.budget <= 0 {
+		return false
+	}
+	*s.budget--
+	if s.filled == s.l.R*s.l.C {
+		return s.l.Implements(s.f)
+	}
+	r, c := s.filled/s.l.C, s.filled%s.l.C
+	for _, cand := range s.cands {
+		s.l.Set(r, c, cand)
+		s.filled++
+		if s.feasible() && s.dfs() {
+			return true
+		}
+		s.filled--
+	}
+	s.l.Set(r, c, lattice.Site{Kind: lattice.Const0})
+	return false
+}
+
+// feasible applies the two monotone prunes to the current partial fill.
+func (s *optSearch) feasible() bool {
+	for a := uint64(0); a < s.f.Size(); a++ {
+		want := s.f.Bit(a)
+		if want {
+			// Optimistic: unfilled sites conduct.
+			if !s.evalPartial(a, true) {
+				return false
+			}
+		} else {
+			// Pessimistic: unfilled sites block.
+			if s.evalPartial(a, false) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// evalPartial runs the top-bottom BFS with unfilled sites treated as
+// conducting (optimistic) or blocking (pessimistic).
+func (s *optSearch) evalPartial(a uint64, optimistic bool) bool {
+	R, C := s.l.R, s.l.C
+	on := make([]bool, R*C)
+	for i := 0; i < R*C; i++ {
+		if i >= s.filled {
+			on[i] = optimistic
+		} else {
+			on[i] = s.l.At(i/C, i%C).On(a)
+		}
+	}
+	var stack []int
+	visited := make([]bool, R*C)
+	for c := 0; c < C; c++ {
+		if on[c] {
+			stack = append(stack, c)
+			visited[c] = true
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r, c := cur/C, cur%C
+		if r == R-1 {
+			return true
+		}
+		for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			nr, nc := r+d[0], c+d[1]
+			if nr < 0 || nr >= R || nc < 0 || nc >= C {
+				continue
+			}
+			ni := nr*C + nc
+			if on[ni] && !visited[ni] {
+				visited[ni] = true
+				stack = append(stack, ni)
+			}
+		}
+	}
+	return false
+}

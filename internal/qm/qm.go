@@ -1,0 +1,399 @@
+// Package qm implements exact two-level (SOP) minimization with the
+// Quine–McCluskey procedure: prime implicant generation followed by a
+// branch-and-bound minimum covering step with essential-prime and
+// dominance reductions.
+//
+// The minimizer is exact — it returns a cover with the minimum number of
+// products, breaking ties by total literal count — and is therefore the
+// reference used for the paper's array-size formulas (Fig. 3 and Fig. 5),
+// which assume minimized SOPs. Cost grows exponentially with variable
+// count; callers should bound n (see Options) and fall back to package
+// isop beyond.
+package qm
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"nanoxbar/internal/cube"
+	"nanoxbar/internal/truthtab"
+)
+
+// Options bound the exact minimization effort.
+type Options struct {
+	MaxVars   int // reject functions with more variables (default 12)
+	MaxPrimes int // abort if prime generation exceeds this (default 50000)
+	// MaxCoverPrimes rejects covering problems with more primes than
+	// this before the branch-and-bound starts: large prime sets are
+	// where exact covering stops being tractable, and failing fast
+	// keeps the heuristic fallback cheap (default 96).
+	MaxCoverPrimes int
+	// MaxCoverWork bounds the covering branch-and-bound effort in
+	// abstract work units (each node costs ~active-primes²/64 units, so
+	// the bound tracks wall time across instance sizes). Default 2e6.
+	MaxCoverWork int
+}
+
+// DefaultOptions are safe interactive limits: beyond them callers fall
+// back to the ISOP heuristic (see latsynth.Covers).
+func DefaultOptions() Options {
+	return Options{MaxVars: 12, MaxPrimes: 50000, MaxCoverPrimes: 96, MaxCoverWork: 2_000_000}
+}
+
+// implicant is a cube in (value, don't-care-mask) representation.
+type implicant struct {
+	val uint64 // variable values on cared positions
+	dc  uint64 // positions not in the cube
+}
+
+func (im implicant) toCube(n int) cube.Cube {
+	var c cube.Cube
+	for v := 0; v < n; v++ {
+		bit := uint64(1) << uint(v)
+		if im.dc&bit != 0 {
+			continue
+		}
+		if im.val&bit != 0 {
+			c.Pos |= bit
+		} else {
+			c.Neg |= bit
+		}
+	}
+	return c
+}
+
+// Primes returns all prime implicants of on ∪ dc (the don't-care set
+// participates in prime formation but needs no covering).
+func Primes(on, dc truthtab.TT, opts Options) ([]cube.Cube, error) {
+	n := on.NumVars()
+	if dc.NumVars() != n {
+		return nil, fmt.Errorf("qm: on/dc variable mismatch")
+	}
+	if opts.MaxVars > 0 && n > opts.MaxVars {
+		return nil, fmt.Errorf("qm: %d variables exceeds limit %d", n, opts.MaxVars)
+	}
+	care := on.Or(dc)
+	if care.IsZero() {
+		return nil, nil
+	}
+	if care.IsOne() {
+		return []cube.Cube{cube.Universe}, nil
+	}
+
+	cur := make(map[implicant]bool) // value: combined into a larger implicant?
+	care.ForEachMinterm(func(a uint64) {
+		cur[implicant{val: a}] = false
+	})
+	var primes []cube.Cube
+	for len(cur) > 0 {
+		if opts.MaxPrimes > 0 && len(cur) > opts.MaxPrimes {
+			return nil, fmt.Errorf("qm: implicant frontier %d exceeds limit %d", len(cur), opts.MaxPrimes)
+		}
+		next := make(map[implicant]bool)
+		// Group implicants by (dc mask, popcount) for pairing.
+		groups := make(map[uint64]map[int][]implicant)
+		for im := range cur {
+			g := groups[im.dc]
+			if g == nil {
+				g = make(map[int][]implicant)
+				groups[im.dc] = g
+			}
+			pc := bits.OnesCount64(im.val)
+			g[pc] = append(g[pc], im)
+		}
+		combined := make(map[implicant]bool, len(cur))
+		for _, g := range groups {
+			for pc, lows := range g {
+				highs := g[pc+1]
+				for _, a := range lows {
+					for _, b := range highs {
+						diff := a.val ^ b.val
+						if bits.OnesCount64(diff) != 1 {
+							continue
+						}
+						combined[a] = true
+						combined[b] = true
+						next[implicant{val: a.val &^ diff, dc: a.dc | diff}] = false
+					}
+				}
+			}
+		}
+		for im := range cur {
+			if !combined[im] {
+				primes = append(primes, im.toCube(n))
+			}
+		}
+		cur = next
+	}
+	// Deterministic order for reproducible covers.
+	sort.Slice(primes, func(i, j int) bool {
+		if primes[i].Pos != primes[j].Pos {
+			return primes[i].Pos < primes[j].Pos
+		}
+		return primes[i].Neg < primes[j].Neg
+	})
+	return primes, nil
+}
+
+// Minimize returns a minimum SOP cover of the incompletely specified
+// function (on, dc): the cover contains all of on, nothing outside
+// on ∪ dc, uses the fewest possible products, and among those the fewest
+// literals.
+func Minimize(on, dc truthtab.TT, opts Options) (cube.Cover, error) {
+	primes, err := Primes(on, dc, opts)
+	if err != nil {
+		return nil, err
+	}
+	if on.IsZero() {
+		return cube.Cover{}, nil
+	}
+	if on.Or(dc).IsOne() {
+		return cube.Cover{cube.Universe}, nil
+	}
+	if opts.MaxCoverPrimes > 0 && len(primes) > opts.MaxCoverPrimes {
+		return nil, fmt.Errorf("qm: %d primes exceeds covering limit %d", len(primes), opts.MaxCoverPrimes)
+	}
+	ms := on.Minterms()
+	sel, complete := solveCover(primes, ms, opts.MaxCoverWork)
+	if !complete {
+		return nil, fmt.Errorf("qm: covering search exceeded %d work units", opts.MaxCoverWork)
+	}
+	out := make(cube.Cover, 0, len(sel))
+	for _, i := range sel {
+		out = append(out, primes[i])
+	}
+	out.Sort()
+	return out, nil
+}
+
+// MinimizeTT minimizes a completely specified function.
+func MinimizeTT(f truthtab.TT, opts Options) (cube.Cover, error) {
+	return Minimize(f, truthtab.Zero(f.NumVars()), opts)
+}
+
+// --- minimum covering ---
+
+type coverState struct {
+	primeCov [][]uint64 // per prime: bitset over minterm columns
+	primeLit []int
+	nCols    int
+	bestSel  []int
+	bestCost coverCost
+	work     int // abstract work spent
+	maxWork  int
+}
+
+type coverCost struct {
+	cubes    int
+	literals int
+}
+
+func (c coverCost) less(d coverCost) bool {
+	if c.cubes != d.cubes {
+		return c.cubes < d.cubes
+	}
+	return c.literals < d.literals
+}
+
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+// solveCover picks a minimum subset of primes covering all minterm
+// columns. Exact branch and bound over the cyclic core after essential
+// and dominance reductions. The second result is false when the node
+// budget was exhausted before the search completed (the best solution
+// found so far may be suboptimal, so callers treat it as failure).
+func solveCover(primes []cube.Cube, ms []uint64, maxWork int) ([]int, bool) {
+	nCols := len(ms)
+	if maxWork <= 0 {
+		maxWork = 1 << 40
+	}
+	st := &coverState{nCols: nCols, bestCost: coverCost{cubes: 1 << 30}, maxWork: maxWork}
+	st.primeCov = make([][]uint64, len(primes))
+	st.primeLit = make([]int, len(primes))
+	for i, p := range primes {
+		w := make([]uint64, bitsetWords(nCols))
+		for j, m := range ms {
+			if p.Eval(m) {
+				w[j>>6] |= 1 << uint(j&63)
+			}
+		}
+		st.primeCov[i] = w
+		st.primeLit[i] = p.NumLiterals()
+	}
+	remaining := make([]uint64, bitsetWords(nCols))
+	for j := 0; j < nCols; j++ {
+		remaining[j>>6] |= 1 << uint(j&63)
+	}
+	active := make([]bool, len(primes))
+	for i := range active {
+		active[i] = true
+	}
+	st.search(remaining, active, nil, coverCost{})
+	sel := append([]int(nil), st.bestSel...)
+	sort.Ints(sel)
+	return sel, st.work < st.maxWork
+}
+
+func (st *coverState) search(remaining []uint64, active []bool, sel []int, cost coverCost) {
+	nAct := 0
+	for _, a := range active {
+		if a {
+			nAct++
+		}
+	}
+	st.work += 1 + nAct*nAct/64
+	if st.work >= st.maxWork {
+		return
+	}
+	// Reduction loop: essentials and dominance to fixpoint.
+	remaining = cloneBits(remaining)
+	active = append([]bool(nil), active...)
+	sel = append([]int(nil), sel...)
+	for {
+		if isEmpty(remaining) {
+			if cost.less(st.bestCost) {
+				st.bestCost = cost
+				st.bestSel = append([]int(nil), sel...)
+			}
+			return
+		}
+		if !cost.less(st.bestCost) {
+			return // bound
+		}
+		changed := false
+		// Essential columns: covered by exactly one active prime.
+		ess := -1
+		for j := 0; j < st.nCols && ess < 0; j++ {
+			if remaining[j>>6]>>uint(j&63)&1 == 0 {
+				continue
+			}
+			cnt, last := 0, -1
+			for i, a := range active {
+				if a && st.primeCov[i][j>>6]>>uint(j&63)&1 == 1 {
+					cnt++
+					last = i
+					if cnt > 1 {
+						break
+					}
+				}
+			}
+			if cnt == 0 {
+				return // uncoverable (cannot happen with all primes)
+			}
+			if cnt == 1 {
+				ess = last
+			}
+		}
+		if ess >= 0 {
+			sel = append(sel, ess)
+			cost.cubes++
+			cost.literals += st.primeLit[ess]
+			andNot(remaining, st.primeCov[ess])
+			active[ess] = false
+			changed = true
+		}
+		if !changed {
+			// Row dominance: drop prime b if some prime a covers a
+			// superset of b's remaining columns at no higher literal
+			// cost.
+			for b := range active {
+				if !active[b] {
+					continue
+				}
+				covB := andBits(st.primeCov[b], remaining)
+				if isEmpty(covB) {
+					active[b] = false
+					changed = true
+					continue
+				}
+				for a := range active {
+					if a == b || !active[a] {
+						continue
+					}
+					covA := andBits(st.primeCov[a], remaining)
+					if !containsBits(covA, covB) || st.primeLit[a] > st.primeLit[b] {
+						continue
+					}
+					// Equal coverage and cost: keep the lower index
+					// only, so the pair does not eliminate itself.
+					if containsBits(covB, covA) && st.primeLit[a] == st.primeLit[b] && a > b {
+						continue
+					}
+					active[b] = false
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Branch on the hardest column (fewest covering primes).
+	bestJ, bestCnt := -1, 1<<30
+	for j := 0; j < st.nCols; j++ {
+		if remaining[j>>6]>>uint(j&63)&1 == 0 {
+			continue
+		}
+		cnt := 0
+		for i, a := range active {
+			if a && st.primeCov[i][j>>6]>>uint(j&63)&1 == 1 {
+				cnt++
+			}
+		}
+		if cnt < bestCnt {
+			bestCnt, bestJ = cnt, j
+		}
+	}
+	if bestJ < 0 {
+		return
+	}
+	for i, a := range active {
+		if !a || st.primeCov[i][bestJ>>6]>>uint(bestJ&63)&1 == 0 {
+			continue
+		}
+		rem2 := cloneBits(remaining)
+		andNot(rem2, st.primeCov[i])
+		act2 := append([]bool(nil), active...)
+		act2[i] = false
+		st.search(rem2, act2,
+			append(append([]int(nil), sel...), i),
+			coverCost{cost.cubes + 1, cost.literals + st.primeLit[i]})
+	}
+}
+
+func cloneBits(w []uint64) []uint64 { return append([]uint64(nil), w...) }
+
+func isEmpty(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func andNot(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &^= src[i]
+	}
+}
+
+func andBits(a, b []uint64) []uint64 {
+	r := make([]uint64, len(a))
+	for i := range a {
+		r[i] = a[i] & b[i]
+	}
+	return r
+}
+
+// containsBits reports a ⊇ b.
+func containsBits(a, b []uint64) bool {
+	for i := range a {
+		if b[i]&^a[i] != 0 {
+			return false
+		}
+	}
+	return true
+}

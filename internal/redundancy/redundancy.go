@@ -1,0 +1,244 @@
+// Package redundancy implements the runtime ("lifetime") fault
+// tolerance of the paper's Section IV: transient-error masking through
+// modular redundancy, and permanent-fault repair through periodic
+// retest plus self-remapping — "fault tolerance to ensure the lifetime
+// reliability (for errors during normal operation)".
+//
+// Transient faults flip individual switch states for a single
+// evaluation; permanent faults accumulate over the chip's lifetime.
+// Both are modeled on the lattice implementation: the abundance of
+// programmable crossbar resources (the property the paper proposes to
+// exploit) pays for R-fold modular redundancy with majority voting,
+// and for spare area that the greedy self-mapping can migrate onto
+// when a permanent fault lands inside the active region.
+package redundancy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nanoxbar/internal/lattice"
+)
+
+// TransientEval evaluates the lattice at assignment a with each site's
+// switch state flipped independently with probability p — the
+// single-evaluation transient upset model.
+func TransientEval(l *lattice.Lattice, a uint64, p float64, rng *rand.Rand) bool {
+	flipped := make([]bool, l.R*l.C)
+	any := false
+	for i := range flipped {
+		if rng.Float64() < p {
+			flipped[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return l.Eval(a)
+	}
+	return evalFlipped(l, a, flipped)
+}
+
+// evalFlipped runs the top-bottom connectivity with chosen sites
+// inverted.
+func evalFlipped(l *lattice.Lattice, a uint64, flipped []bool) bool {
+	on := make([]bool, l.R*l.C)
+	for i := range on {
+		on[i] = l.At(i/l.C, i%l.C).On(a) != flipped[i]
+	}
+	stack := make([]int, 0, l.C)
+	seen := make([]bool, l.R*l.C)
+	for c := 0; c < l.C; c++ {
+		if on[c] {
+			stack = append(stack, c)
+			seen[c] = true
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r, c := cur/l.C, cur%l.C
+		if r == l.R-1 {
+			return true
+		}
+		for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			nr, nc := r+d[0], c+d[1]
+			if nr < 0 || nr >= l.R || nc < 0 || nc >= l.C {
+				continue
+			}
+			ni := nr*l.C + nc
+			if on[ni] && !seen[ni] {
+				seen[ni] = true
+				stack = append(stack, ni)
+			}
+		}
+	}
+	return false
+}
+
+// NMR is an N-modular-redundant lattice: R copies whose outputs feed a
+// majority voter (the voter itself is assumed reliable, the standard
+// TMR assumption — see DESIGN.md).
+type NMR struct {
+	Copies []*lattice.Lattice
+}
+
+// NewNMR replicates the lattice n times (n odd).
+func NewNMR(l *lattice.Lattice, n int) *NMR {
+	if n < 1 || n%2 == 0 {
+		panic(fmt.Sprintf("redundancy: modular redundancy needs odd n, got %d", n))
+	}
+	copies := make([]*lattice.Lattice, n)
+	for i := range copies {
+		copies[i] = l.Clone()
+	}
+	return &NMR{Copies: copies}
+}
+
+// Area returns the total crosspoint cost of the redundant system.
+func (m *NMR) Area() int {
+	a := 0
+	for _, c := range m.Copies {
+		a += c.Area()
+	}
+	return a
+}
+
+// EvalTransient evaluates all copies under independent transient upsets
+// and returns the majority vote.
+func (m *NMR) EvalTransient(a uint64, p float64, rng *rand.Rand) bool {
+	ones := 0
+	for _, c := range m.Copies {
+		if TransientEval(c, a, p, rng) {
+			ones++
+		}
+	}
+	return ones*2 > len(m.Copies)
+}
+
+// ErrorRates Monte-Carlo estimates the per-evaluation output error
+// probability of the bare lattice and of its n-modular version under
+// transient upset probability p, over random on/off assignments of an
+// nVars-variable function.
+func ErrorRates(l *lattice.Lattice, nVars int, nmr int, p float64, trials int, rng *rand.Rand) (bare, protected float64) {
+	m := NewNMR(l, nmr)
+	bareErr, protErr := 0, 0
+	size := uint64(1) << uint(nVars)
+	for t := 0; t < trials; t++ {
+		a := rng.Uint64() % size
+		want := l.Eval(a)
+		if TransientEval(l, a, p, rng) != want {
+			bareErr++
+		}
+		if m.EvalTransient(a, p, rng) != want {
+			protErr++
+		}
+	}
+	return float64(bareErr) / float64(trials), float64(protErr) / float64(trials)
+}
+
+// LifetimeParams configure the permanent-fault aging simulation.
+type LifetimeParams struct {
+	ChipN       int     // physical array dimension
+	FaultsPerEp float64 // expected new permanent stuck faults per epoch
+	Epochs      int     // simulated lifetime length
+	RetestEvery int     // self-test period (epochs); 0 disables repair
+	RemapBudget int     // configurations the self-repair may try
+	Seed        int64
+}
+
+// LifetimeResult reports an aging run.
+type LifetimeResult struct {
+	EpochsAlive int  // epochs the system produced correct outputs
+	Remaps      int  // successful self-repairs
+	DiedOfChip  bool // chip exhausted (no healthy region left)
+}
+
+// Lifetime ages a chip carrying the given logical lattice: each epoch
+// sprinkles Poisson-distributed permanent stuck faults on random
+// crosspoints; the lattice occupies a region chosen by the self-mapper.
+// Without retest (RetestEvery 0) the system dies at the first fault
+// that lands inside its active, function-relevant sites; with periodic
+// retest the repair controller detects the hit and migrates the
+// lattice to a healthy region, extending the lifetime until the chip
+// runs out of clean area.
+func Lifetime(l *lattice.Lattice, nVars int, p LifetimeParams) LifetimeResult {
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.ChipN < l.R || p.ChipN < l.C {
+		panic("redundancy: chip smaller than lattice")
+	}
+	// Permanent fault state: true = crosspoint dead (stuck).
+	dead := make([]bool, p.ChipN*p.ChipN)
+	// Current placement.
+	rowOff, colOff := 0, 0
+	place := func() bool {
+		// Greedy scan for a region whose used sites are healthy.
+		for ro := 0; ro+l.R <= p.ChipN; ro++ {
+			for co := 0; co+l.C <= p.ChipN; co++ {
+				if regionHealthy(l, dead, p.ChipN, ro, co) {
+					rowOff, colOff = ro, co
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !place() {
+		return LifetimeResult{DiedOfChip: true}
+	}
+	var res LifetimeResult
+	poisson := func(lambda float64) int {
+		// Knuth's method; lambda is small in the sweeps used here.
+		threshold := math.Exp(-lambda)
+		L := 1.0
+		for k := 0; ; k++ {
+			L *= rng.Float64()
+			if L < threshold {
+				return k
+			}
+		}
+	}
+	for ep := 0; ep < p.Epochs; ep++ {
+		for k := poisson(p.FaultsPerEp); k > 0; k-- {
+			dead[rng.Intn(len(dead))] = true
+		}
+		healthy := regionHealthy(l, dead, p.ChipN, rowOff, colOff)
+		if healthy {
+			res.EpochsAlive++
+			continue
+		}
+		// Fault inside the active region. Without retest the system
+		// silently fails from here on; with retest, repair at the next
+		// test epoch.
+		if p.RetestEvery == 0 {
+			return res
+		}
+		if (ep+1)%p.RetestEvery != 0 {
+			continue // fault latent until the next scheduled test
+		}
+		if !place() {
+			res.DiedOfChip = true
+			return res
+		}
+		res.Remaps++
+		res.EpochsAlive++
+	}
+	return res
+}
+
+// regionHealthy reports whether every function-relevant site of the
+// lattice maps onto a live crosspoint (constant-0 sites need no
+// programmable switch).
+func regionHealthy(l *lattice.Lattice, dead []bool, chipN, rowOff, colOff int) bool {
+	for i := 0; i < l.R; i++ {
+		for j := 0; j < l.C; j++ {
+			if l.At(i, j).Kind == lattice.Const0 {
+				continue
+			}
+			if dead[(rowOff+i)*chipN+colOff+j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package redundancy
+
+import (
+	"math/rand"
+	"testing"
+
+	"nanoxbar/internal/latsynth"
+	"nanoxbar/internal/lattice"
+	"nanoxbar/internal/truthtab"
+)
+
+func maj3Lattice(t *testing.T) *lattice.Lattice {
+	t.Helper()
+	f := truthtab.FromFunc(3, func(a uint64) bool {
+		return a&1+a>>1&1+a>>2&1 >= 2
+	})
+	res, err := latsynth.DualMethod(f, latsynth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Lattice
+}
+
+func TestTransientEvalZeroUpsetMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := maj3Lattice(t)
+	for a := uint64(0); a < 8; a++ {
+		if TransientEval(l, a, 0, rng) != l.Eval(a) {
+			t.Fatal("p=0 transient eval diverges")
+		}
+	}
+}
+
+func TestTransientEvalCertainUpset(t *testing.T) {
+	// p=1 flips every site: a single always-on cell becomes always-off.
+	rng := rand.New(rand.NewSource(2))
+	l := lattice.Constant(true)
+	if TransientEval(l, 0, 1, rng) {
+		t.Fatal("total upset should break the constant-1 lattice")
+	}
+}
+
+func TestNMRValidation(t *testing.T) {
+	l := maj3Lattice(t)
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { NewNMR(l, 2) })
+	mustPanic(func() { NewNMR(l, 0) })
+	m := NewNMR(l, 3)
+	if m.Area() != 3*l.Area() {
+		t.Fatal("NMR area accounting")
+	}
+}
+
+func TestTMRSuppressesTransients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := maj3Lattice(t)
+	bare, prot := ErrorRates(l, 3, 3, 0.01, 4000, rng)
+	if bare == 0 {
+		t.Fatal("upsets never produced a bare error; model inert")
+	}
+	if prot >= bare {
+		t.Fatalf("TMR error rate %v not below bare %v", prot, bare)
+	}
+	// For small ε, TMR error ≈ 3ε² ≪ ε: expect at least ~3× better.
+	if prot*3 > bare {
+		t.Fatalf("TMR suppression too weak: %v vs %v", prot, bare)
+	}
+}
+
+func TestFiveMRBeatsTMRAtHighUpset(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := maj3Lattice(t)
+	_, tmr := ErrorRates(l, 3, 3, 0.05, 6000, rng)
+	_, fmr := ErrorRates(l, 3, 5, 0.05, 6000, rng)
+	if fmr > tmr*1.2 {
+		t.Fatalf("5-MR (%v) should not be clearly worse than TMR (%v)", fmr, tmr)
+	}
+}
+
+func TestLifetimeNoFaultsRunsForever(t *testing.T) {
+	l := maj3Lattice(t)
+	res := Lifetime(l, 3, LifetimeParams{
+		ChipN: 16, FaultsPerEp: 0, Epochs: 50, RetestEvery: 5, RemapBudget: 100, Seed: 1,
+	})
+	if res.EpochsAlive != 50 || res.Remaps != 0 || res.DiedOfChip {
+		t.Fatalf("clean chip lifetime: %+v", res)
+	}
+}
+
+func TestLifetimeRepairExtendsLife(t *testing.T) {
+	l := maj3Lattice(t)
+	base := LifetimeParams{
+		ChipN: 24, FaultsPerEp: 1.0, Epochs: 400, RemapBudget: 200,
+	}
+	var aliveNoRepair, aliveRepair int
+	trials := 15
+	for s := int64(0); s < int64(trials); s++ {
+		p := base
+		p.Seed = s
+		p.RetestEvery = 0
+		aliveNoRepair += Lifetime(l, 3, p).EpochsAlive
+		p.RetestEvery = 2
+		aliveRepair += Lifetime(l, 3, p).EpochsAlive
+	}
+	if aliveRepair <= aliveNoRepair {
+		t.Fatalf("repair did not extend lifetime: %d vs %d", aliveRepair, aliveNoRepair)
+	}
+	// The paper's point: reconfigurability buys substantial lifetime.
+	if float64(aliveRepair) < 2*float64(aliveNoRepair) {
+		t.Fatalf("lifetime extension too small: %d vs %d", aliveRepair, aliveNoRepair)
+	}
+}
+
+func TestLifetimeEventuallyDies(t *testing.T) {
+	l := maj3Lattice(t)
+	res := Lifetime(l, 3, LifetimeParams{
+		ChipN: 8, FaultsPerEp: 6, Epochs: 3000, RetestEvery: 1, RemapBudget: 50, Seed: 7,
+	})
+	if !res.DiedOfChip && res.EpochsAlive == 3000 {
+		t.Fatal("saturated chip should eventually exhaust healthy regions")
+	}
+}
+
+func TestLifetimePanicsOnTinyChip(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := maj3Lattice(t)
+	Lifetime(l, 3, LifetimeParams{ChipN: 1, Epochs: 1})
+}

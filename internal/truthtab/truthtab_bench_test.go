@@ -1,0 +1,47 @@
+package truthtab
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTT(n int, seed int64) TT {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(n)
+	for a := uint64(0); a < t.Size(); a++ {
+		if rng.Intn(2) == 1 {
+			t.SetBit(a, true)
+		}
+	}
+	return t
+}
+
+func BenchmarkAnd16Var(b *testing.B) {
+	x, y := benchTT(16, 1), benchTT(16, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.And(y)
+	}
+}
+
+func BenchmarkCofactor16Var(b *testing.B) {
+	x := benchTT(16, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Cofactor(i%16, i&1 == 1)
+	}
+}
+
+func BenchmarkDual12Var(b *testing.B) {
+	x := benchTT(12, 4)
+	for i := 0; i < b.N; i++ {
+		x.Dual()
+	}
+}
+
+func BenchmarkSupport16Var(b *testing.B) {
+	x := benchTT(16, 5)
+	for i := 0; i < b.N; i++ {
+		x.Support()
+	}
+}
