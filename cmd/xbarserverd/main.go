@@ -1,0 +1,71 @@
+// Command xbarserverd serves the nanoxbar synthesis and per-chip
+// mapping pipeline over HTTP. Synthesis results are cached and shared
+// across requests (one core.Synthesize per distinct function ×
+// technology × options); per-chip mapping jobs fan out across a bounded
+// worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/synthesize  one synthesize or compare request
+//	POST /v1/map         one per-chip map or yield-sweep request
+//	POST /v1/batch       {"requests": [...]} — fan-out, results in order
+//	GET  /healthz        liveness probe
+//	GET  /stats          engine counters (cache hits/misses, workers, ...)
+//
+// Usage:
+//
+//	xbarserverd [-addr :8080] [-workers N] [-cache 1024]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nanoxbar/internal/core"
+	"nanoxbar/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	cacheSize := flag.Int("cache", 1024, "synthesis cache entries")
+	flag.Parse()
+
+	eng := engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize})
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+		// No blanket write timeout: large yield sweeps legitimately run
+		// long. The per-request bound is the scheme's MaxAttempts.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("xbarserverd listening on %s (workers=%d cache=%d fingerprint=%q)\n",
+		*addr, eng.Stats().Workers, *cacheSize, core.Fingerprint())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "xbarserverd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "xbarserverd: shutdown:", err)
+	}
+}

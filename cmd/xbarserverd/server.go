@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"nanoxbar/internal/engine"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is
+// a batch of map requests with explicit defect maps, well under this.
+const maxBodyBytes = 16 << 20
+
+// maxBatchSize bounds one /v1/batch submission. Larger workloads should
+// be split client-side so a single request cannot monopolize the pool.
+const maxBatchSize = 10000
+
+// server routes the HTTP API onto an engine.
+type server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+func newServer(eng *engine.Engine) *server {
+	s := &server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/synthesize", s.handleSingle(engine.KindSynthesize, engine.KindCompare))
+	s.mux.HandleFunc("/v1/map", s.handleSingle(engine.KindMap, engine.KindYield))
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses a JSON body into dst with a size bound.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// handleSingle serves one-request endpoints. The first kind is the
+// default when the body leaves kind empty; a request naming any other
+// kind than the allowed ones is rejected, keeping each endpoint's
+// latency profile predictable.
+func (s *server) handleSingle(def engine.Kind, also ...engine.Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var req engine.Request
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if req.Kind == "" {
+			req.Kind = def
+		}
+		allowed := req.Kind == def
+		for _, k := range also {
+			allowed = allowed || req.Kind == k
+		}
+		if !allowed {
+			writeError(w, http.StatusBadRequest, "kind %q not served by %s", req.Kind, r.URL.Path)
+			return
+		}
+		res := s.eng.Do(req)
+		if !res.Ok() {
+			writeJSON(w, http.StatusUnprocessableEntity, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// batchRequest is the /v1/batch body.
+type batchRequest struct {
+	Requests []engine.Request `json:"requests"`
+}
+
+// batchResponse mirrors the submission order.
+type batchResponse struct {
+	Results []engine.Result `json:"results"`
+	Errors  int             `json:"errors"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Requests), maxBatchSize)
+		return
+	}
+	// Default empty kinds to per-chip mapping, the expected bulk load.
+	for i := range req.Requests {
+		if req.Requests[i].Kind == "" {
+			req.Requests[i].Kind = engine.KindMap
+		}
+	}
+	results := s.eng.SubmitBatch(req.Requests)
+	resp := batchResponse{Results: results}
+	for _, res := range results {
+		if !res.Ok() {
+			resp.Errors++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nanoxbar/internal/engine"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: 4, CacheSize: 64})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["status"] != "ok" {
+		t.Fatalf("healthz body %v (err %v)", body, err)
+	}
+}
+
+func TestSynthesizeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", engine.Request{
+		Function: engine.FunctionSpec{Expr: "x1x2 + x1'x2'"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res engine.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Synthesis == nil || res.Synthesis.Area == 0 {
+		t.Fatalf("bad synthesis result: %s", body)
+	}
+	if res.Synthesis.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	// Same function again: must hit.
+	_, body = postJSON(t, ts.URL+"/v1/synthesize", engine.Request{
+		Function: engine.FunctionSpec{Expr: "x1x2 + x1'x2'"},
+	})
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synthesis.CacheHit {
+		t.Fatal("second request missed the cache")
+	}
+	// Compare rides the same endpoint.
+	resp, body = postJSON(t, ts.URL+"/v1/synthesize", engine.Request{
+		Kind:     engine.KindCompare,
+		Function: engine.FunctionSpec{Name: "maj3"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compare status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil || res.Compare == nil {
+		t.Fatalf("bad compare result (err %v): %s", err, body)
+	}
+	// Map requests are rejected here.
+	resp, _ = postJSON(t, ts.URL+"/v1/synthesize", engine.Request{
+		Kind:     engine.KindMap,
+		Function: engine.FunctionSpec{Name: "maj3"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("map on /v1/synthesize: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMapEndpointValidation(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/map", engine.Request{
+		Function: engine.FunctionSpec{Name: "maj3"},
+		Density:  0.05,
+		Seed:     1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res engine.Result
+	if err := json.Unmarshal(body, &res); err != nil || res.Map == nil {
+		t.Fatalf("bad map result (err %v): %s", err, body)
+	}
+	// Engine-level failures surface as 422 with the error in the body.
+	resp, body = postJSON(t, ts.URL+"/v1/map", engine.Request{
+		Function: engine.FunctionSpec{Name: "no-such-benchmark"},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil || res.Error == "" {
+		t.Fatalf("missing error detail: %s", body)
+	}
+	// Malformed JSON is a 400.
+	r, err := http.Post(ts.URL+"/v1/map", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", r.StatusCode)
+	}
+	// GET is not allowed.
+	g, err := http.Get(ts.URL + "/v1/map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/map: status %d, want 405", g.StatusCode)
+	}
+}
+
+// TestBatchHundredChipsOneMiss is the acceptance scenario end to end
+// over HTTP: 100 per-chip mapping requests for one function, exactly
+// one underlying synthesis, deterministic results for fixed seeds.
+func TestBatchHundredChipsOneMiss(t *testing.T) {
+	ts := newTestServer(t)
+	var batch struct {
+		Requests []engine.Request `json:"requests"`
+	}
+	for i := 0; i < 100; i++ {
+		batch.Requests = append(batch.Requests, engine.Request{
+			Kind:     engine.KindMap,
+			Function: engine.FunctionSpec{Name: "maj3"},
+			Density:  0.05,
+			Seed:     int64(i),
+		})
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []engine.Result `json:"results"`
+		Errors  int             `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 100 || out.Errors != 0 {
+		t.Fatalf("got %d results, %d errors", len(out.Results), out.Errors)
+	}
+	for i, r := range out.Results {
+		if r.Map == nil {
+			t.Fatalf("result %d has no map payload: %+v", i, r)
+		}
+	}
+
+	// /stats must report exactly one synthesis and 99 cache hits.
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st engine.Stats
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SynthCalls != 1 || st.CacheMisses != 1 || st.CacheHits != 99 {
+		t.Fatalf("stats synth=%d miss=%d hit=%d, want 1/1/99", st.SynthCalls, st.CacheMisses, st.CacheHits)
+	}
+	if st.Fingerprint == "" {
+		t.Fatal("stats missing implementation fingerprint")
+	}
+
+	// Determinism: a fresh server given the same batch returns the
+	// same results.
+	ts2 := newTestServer(t)
+	_, body2 := postJSON(t, ts2.URL+"/v1/batch", batch)
+	var out2 struct {
+		Results []engine.Result `json:"results"`
+		Errors  int             `json:"errors"`
+	}
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Results {
+		a, _ := json.Marshal(out.Results[i])
+		b, _ := json.Marshal(out2.Results[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("result %d differs across servers:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/batch", map[string]any{"requests": []engine.Request{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	big := make([]engine.Request, maxBatchSize+1)
+	for i := range big {
+		big[i] = engine.Request{Kind: engine.KindSynthesize, Function: engine.FunctionSpec{Name: "maj3"}}
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/batch", map[string]any{"requests": big})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestBatchMixedKindsAndDefaulting(t *testing.T) {
+	ts := newTestServer(t)
+	batch := map[string]any{"requests": []engine.Request{
+		{Kind: engine.KindSynthesize, Function: engine.FunctionSpec{Name: "maj3"}},
+		{Function: engine.FunctionSpec{Name: "maj3"}, Density: 0.05, Seed: 3}, // kind defaults to map
+		{Kind: engine.KindYield, Function: engine.FunctionSpec{Name: "maj3"}, Density: 0.03, Chips: 10, ChipSize: 16, Seed: 4},
+		{Kind: engine.KindMap, Function: engine.FunctionSpec{Name: "not-a-benchmark"}},
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []engine.Result `json:"results"`
+		Errors  int             `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Errors != 1 {
+		t.Fatalf("errors=%d, want 1: %s", out.Errors, body)
+	}
+	if out.Results[0].Synthesis == nil || out.Results[1].Map == nil || out.Results[2].Yield == nil {
+		t.Fatalf("payloads out of order: %s", body)
+	}
+	if out.Results[3].Error == "" {
+		t.Fatal("failed request lost its error")
+	}
+	if fmt.Sprintf("%v", out.Results[2].Yield.Chips) != "10" {
+		t.Fatalf("yield chips %v, want 10", out.Results[2].Yield.Chips)
+	}
+}

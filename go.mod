@@ -1,0 +1,3 @@
+module nanoxbar
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"nanoxbar/internal/benchfn"
@@ -175,5 +176,55 @@ func TestMapWithRecoveryErrors(t *testing.T) {
 func TestTechnologyString(t *testing.T) {
 	if Diode.String() != "diode" || FET.String() != "fet" || FourTerminal.String() != "4T-lattice" {
 		t.Fatal("names")
+	}
+}
+
+func TestParseTechnology(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Technology
+	}{
+		{"diode", Diode}, {"FET", FET}, {"lattice", FourTerminal},
+		{"4T-lattice", FourTerminal}, {" 4t ", FourTerminal},
+	} {
+		got, err := ParseTechnology(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseTechnology(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseTechnology("memristor"); err == nil {
+		t.Fatal("ParseTechnology accepted unknown technology")
+	}
+	// Every String() form must round-trip.
+	for _, tech := range []Technology{Diode, FET, FourTerminal} {
+		got, err := ParseTechnology(tech.String())
+		if err != nil || got != tech {
+			t.Fatalf("ParseTechnology(%v.String()) = %v, %v", tech, got, err)
+		}
+	}
+}
+
+func TestCacheKeyStability(t *testing.T) {
+	f := benchfn.Majority(3).F
+	g := benchfn.Parity(3).F
+	opts := DefaultOptions()
+	k1 := CacheKey(f, FourTerminal, opts)
+	k2 := CacheKey(f.Clone(), FourTerminal, opts)
+	if k1 != k2 {
+		t.Fatal("identical inputs produced different cache keys")
+	}
+	if CacheKey(g, FourTerminal, opts) == k1 {
+		t.Fatal("different functions share a cache key")
+	}
+	if CacheKey(f, Diode, opts) == k1 {
+		t.Fatal("different technologies share a cache key")
+	}
+	changed := opts
+	changed.TryPCircuit = !changed.TryPCircuit
+	if CacheKey(f, FourTerminal, changed) == k1 {
+		t.Fatal("different options share a cache key")
+	}
+	if !strings.Contains(Fingerprint(), "nanoxbar-core/") {
+		t.Fatalf("fingerprint %q lacks version prefix", Fingerprint())
 	}
 }

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"nanoxbar/internal/core"
+)
+
+// flight is one cache slot: either a completed synthesis result or a
+// computation in progress that followers wait on. Completed flights are
+// immutable; the Implementation they hold is shared read-only across
+// every request that hits the slot.
+type flight struct {
+	done chan struct{} // closed when imp/err are final
+	imp  *core.Implementation
+	err  error
+}
+
+// cache is a canonicalizing LRU over synthesis results with in-flight
+// deduplication: concurrent misses for one key run the compute function
+// exactly once, and followers block on the leader's flight instead of
+// recomputing. Eviction only removes completed entries, oldest first.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // key → element whose Value is *cacheNode
+	order    *list.List               // front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+type cacheNode struct {
+	key string
+	fl  *flight
+}
+
+func newCache(capacity int) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// getOrCompute returns the cached result for key, computing it with fn
+// on a miss. The boolean reports a hit: true whenever this call did not
+// itself run fn (including when it waited on another goroutine's
+// in-flight computation). Failed computations are removed so later
+// calls retry.
+func (c *cache) getOrCompute(key string, fn func() (*core.Implementation, error)) (*core.Implementation, error, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		fl := el.Value.(*cacheNode).fl
+		c.mu.Unlock()
+		<-fl.done
+		return fl.imp, fl.err, true
+	}
+	fl := &flight{done: make(chan struct{})}
+	el := c.order.PushFront(&cacheNode{key: key, fl: fl})
+	c.entries[key] = el
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	fl.imp, fl.err = fn()
+	close(fl.done)
+	if fl.err != nil {
+		c.mu.Lock()
+		// Only remove our own flight: the slot may already have been
+		// evicted and repopulated by a retry.
+		if cur, ok := c.entries[key]; ok && cur.Value.(*cacheNode).fl == fl {
+			c.order.Remove(cur)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return fl.imp, fl.err, false
+}
+
+// evictLocked trims completed entries from the LRU tail until the cache
+// fits its capacity. In-flight entries are skipped — evicting them
+// would duplicate running syntheses.
+func (c *cache) evictLocked() {
+	for el := c.order.Back(); el != nil && c.order.Len() > c.capacity; {
+		prev := el.Prev()
+		node := el.Value.(*cacheNode)
+		select {
+		case <-node.fl.done:
+			c.order.Remove(el)
+			delete(c.entries, node.key)
+			c.evictions++
+		default: // still computing
+		}
+		el = prev
+	}
+}
+
+// counters returns a consistent snapshot of the cache statistics.
+func (c *cache) counters() (hits, misses, evictions uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nanoxbar/internal/core"
+)
+
+// fakeImp builds a distinguishable implementation without running
+// synthesis.
+func fakeImp(id int) *core.Implementation {
+	return &core.Implementation{Rows: id, Cols: 1, Method: "fake"}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newCache(8)
+	var calls atomic.Int64
+	const goroutines = 64
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	results := make([]*core.Implementation, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			imp, err, _ := c.getOrCompute("k", func() (*core.Implementation, error) {
+				calls.Add(1)
+				return fakeImp(7), nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+			results[g] = imp
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times for one key, want 1", got)
+	}
+	for g, imp := range results {
+		if imp != results[0] {
+			t.Fatalf("goroutine %d got a different instance", g)
+		}
+	}
+	hits, misses, _, entries := c.counters()
+	if misses != 1 || hits != goroutines-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", hits, misses, goroutines-1)
+	}
+	if entries != 1 {
+		t.Fatalf("entries=%d, want 1", entries)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(3)
+	get := func(key string, id int) {
+		t.Helper()
+		imp, err, _ := c.getOrCompute(key, func() (*core.Implementation, error) {
+			return fakeImp(id), nil
+		})
+		if err != nil || imp.Rows != id {
+			t.Fatalf("get(%s): imp=%v err=%v", key, imp, err)
+		}
+	}
+	// Recompute on re-miss must yield the recomputed value.
+	get("a", 1)
+	get("b", 2)
+	get("c", 3)
+	get("a", 1) // refresh a: LRU order b, c, a
+	get("d", 4) // evicts b
+	_, _, _, n := c.counters()
+	if n != 3 {
+		t.Fatalf("entries=%d, want 3", n)
+	}
+	var recomputed bool
+	c.getOrCompute("b", func() (*core.Implementation, error) {
+		recomputed = true
+		return fakeImp(2), nil
+	})
+	if !recomputed {
+		t.Fatal("evicted key b still cached")
+	}
+	c.getOrCompute("a", func() (*core.Implementation, error) {
+		t.Fatal("recently used key a was evicted")
+		return nil, nil
+	})
+	_, _, ev, _ := c.counters()
+	if ev < 2 {
+		t.Fatalf("evictions=%d, want >=2", ev)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newCache(4)
+	boom := fmt.Errorf("boom")
+	_, err, hit := c.getOrCompute("k", func() (*core.Implementation, error) { return nil, boom })
+	if err != boom || hit {
+		t.Fatalf("first call: err=%v hit=%v", err, hit)
+	}
+	imp, err, hit := c.getOrCompute("k", func() (*core.Implementation, error) { return fakeImp(1), nil })
+	if err != nil || hit || imp.Rows != 1 {
+		t.Fatalf("retry after error: imp=%v err=%v hit=%v", imp, err, hit)
+	}
+	imp, err, hit = c.getOrCompute("k", func() (*core.Implementation, error) {
+		t.Fatal("recomputed a cached success")
+		return nil, nil
+	})
+	if err != nil || !hit || imp.Rows != 1 {
+		t.Fatalf("third call: imp=%v err=%v hit=%v", imp, err, hit)
+	}
+}
+
+func TestCacheConcurrentManyKeys(t *testing.T) {
+	// Hammer a small cache with more keys than capacity from many
+	// goroutines; every call must observe its own key's value.
+	c := newCache(4)
+	const goroutines, rounds, keys = 16, 200, 12
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := (g + r) % keys
+				key := fmt.Sprintf("k%d", id)
+				imp, err, _ := c.getOrCompute(key, func() (*core.Implementation, error) {
+					return fakeImp(id), nil
+				})
+				if err != nil || imp.Rows != id {
+					t.Errorf("key %s returned imp=%v err=%v", key, imp, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_, _, _, entries := c.counters()
+	if entries > 4 {
+		t.Fatalf("cache grew to %d entries, capacity 4", entries)
+	}
+}

@@ -1,0 +1,453 @@
+// Package engine turns the nanoxbar library into a concurrent serving
+// backend. The DATE'17 flow splits naturally into a shared, defect-free
+// synthesis step (identical across every die that implements a
+// function) and a per-chip mapping step (each fabricated crossbar has a
+// unique defect map). The engine exploits that split: synthesis results
+// live in a canonicalizing LRU cache keyed by core.CacheKey, so one
+// core.Synthesize call serves millions of per-chip requests, while a
+// bounded worker pool fans the per-chip bism mapping jobs out across
+// goroutines with per-job seeded RNGs for reproducibility.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nanoxbar/internal/bism"
+	"nanoxbar/internal/core"
+	"nanoxbar/internal/defect"
+	"nanoxbar/internal/truthtab"
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the size of the worker pool (default runtime.NumCPU()).
+	Workers int
+	// CacheSize bounds the synthesis LRU entry count (default 1024).
+	CacheSize int
+}
+
+// defaultMaxAttempts bounds self-mapping effort when a request does not
+// say otherwise; it matches the budget the paper's E7 sweep uses for
+// mid-size chips.
+const defaultMaxAttempts = 200
+
+// defaultYieldChips is the die count of a KindYield request that leaves
+// Chips unset.
+const defaultYieldChips = 100
+
+// Request bounds. These fields drive allocations proportional to their
+// value, so untrusted requests must not pick them freely: a yield sweep
+// allocates per-die state, a random chip draw allocates ChipSize².
+const (
+	maxChips       = 100_000
+	maxChipSize    = 4096
+	maxMaxAttempts = 1_000_000
+)
+
+// Engine executes Requests over a shared synthesis cache and a bounded
+// worker pool. It is safe for concurrent use; Close releases the
+// workers (no Submit/Do may follow Close).
+type Engine struct {
+	cache   *cache
+	pool    *pool
+	workers int
+
+	requests   atomic.Uint64
+	failures   atomic.Uint64
+	synthCalls atomic.Uint64
+	byKind     [4]atomic.Uint64 // synthesize, compare, map, yield
+}
+
+// New starts an engine.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	return &Engine{
+		cache:   newCache(cfg.CacheSize),
+		pool:    newPool(cfg.Workers),
+		workers: cfg.Workers,
+	}
+}
+
+// Close stops the worker pool after draining queued jobs.
+func (e *Engine) Close() { e.pool.close() }
+
+// Synthesize implements f on tech through the cache. The returned
+// Implementation is shared: callers must treat it as read-only. The
+// boolean reports a cache hit.
+func (e *Engine) Synthesize(f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, bool, error) {
+	imp, _, hit, err := e.synthKeyed(f, tech, opts)
+	return imp, hit, err
+}
+
+// synthKeyed is Synthesize plus the cache key, which is a SHA-256 over
+// the full truth table — computed once here and reused by callers that
+// report it.
+func (e *Engine) synthKeyed(f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, string, bool, error) {
+	key := core.CacheKey(f, tech, opts)
+	imp, err, hit := e.cache.getOrCompute(key, func() (*core.Implementation, error) {
+		e.synthCalls.Add(1)
+		return core.Synthesize(f, tech, opts)
+	})
+	return imp, key, hit, err
+}
+
+// Do executes one request on the worker pool and waits for its result.
+func (e *Engine) Do(req Request) Result {
+	return e.SubmitBatch([]Request{req})[0]
+}
+
+// SubmitBatch fans the requests out across the worker pool and returns
+// their results in submission order. It blocks until every request has
+// completed; it is safe to call from many goroutines at once.
+func (e *Engine) SubmitBatch(reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i := range reqs {
+		i := i
+		e.pool.submit(func() {
+			defer wg.Done()
+			results[i] = e.run(reqs[i])
+		})
+	}
+	wg.Wait()
+	return results
+}
+
+// run executes one request inline on the calling goroutine.
+func (e *Engine) run(req Request) Result {
+	e.requests.Add(1)
+	res := e.dispatch(req)
+	if !res.Ok() {
+		e.failures.Add(1)
+	}
+	return res
+}
+
+// dispatch routes by kind, converting panics into error results so one
+// bad request cannot take down a pool worker (and with it the daemon).
+func (e *Engine) dispatch(req Request) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = errResult(req.Kind, fmt.Errorf("engine: panic executing request: %v", r))
+		}
+	}()
+	switch req.Kind {
+	case KindSynthesize:
+		e.byKind[0].Add(1)
+		res = e.runSynthesize(req)
+	case KindCompare:
+		e.byKind[1].Add(1)
+		res = e.runCompare(req)
+	case KindMap:
+		e.byKind[2].Add(1)
+		res = e.runMap(req)
+	case KindYield:
+		e.byKind[3].Add(1)
+		res = e.runYield(req)
+	default:
+		res = errResult(req.Kind, fmt.Errorf("engine: unknown request kind %q", req.Kind))
+	}
+	return res
+}
+
+// resolve elaborates the shared request fields: function, technology,
+// options.
+func (e *Engine) resolve(req Request) (truthtab.TT, core.Technology, core.Options, error) {
+	f, err := req.Function.Resolve()
+	if err != nil {
+		return truthtab.TT{}, 0, core.Options{}, err
+	}
+	tech := core.FourTerminal
+	if req.Tech != "" {
+		if tech, err = core.ParseTechnology(req.Tech); err != nil {
+			return truthtab.TT{}, 0, core.Options{}, err
+		}
+	}
+	opts := core.DefaultOptions()
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	return f, tech, opts, nil
+}
+
+// synth runs one cached synthesis and summarizes it.
+func (e *Engine) synth(f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, SynthesisResult, error) {
+	imp, key, hit, err := e.synthKeyed(f, tech, opts)
+	if err != nil {
+		return nil, SynthesisResult{}, err
+	}
+	return imp, SynthesisResult{
+		Tech: tech.String(), Rows: imp.Rows, Cols: imp.Cols, Area: imp.Area(),
+		Method: imp.Method, CacheHit: hit, Key: key,
+	}, nil
+}
+
+func (e *Engine) runSynthesize(req Request) Result {
+	f, tech, opts, err := e.resolve(req)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	_, sr, err := e.synth(f, tech, opts)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	return Result{Kind: req.Kind, Synthesis: &sr}
+}
+
+func (e *Engine) runCompare(req Request) Result {
+	f, _, opts, err := e.resolve(req)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	var cr CompareResult
+	for _, tc := range []struct {
+		tech core.Technology
+		dst  *SynthesisResult
+	}{{core.Diode, &cr.Diode}, {core.FET, &cr.FET}, {core.FourTerminal, &cr.Lattice}} {
+		_, sr, err := e.synth(f, tc.tech, opts)
+		if err != nil {
+			return errResult(req.Kind, err)
+		}
+		*tc.dst = sr
+	}
+	return Result{Kind: req.Kind, Compare: &cr}
+}
+
+// chipSizeFor resolves and bounds the chip side for random defect
+// draws: the request's ChipSize, defaulting to twice the implementation
+// footprint. Resolved once per request — the per-die sweep must not
+// rebuild the app matrix just to read its dimensions.
+func chipSizeFor(req Request, imp *core.Implementation) (int, error) {
+	n := req.ChipSize
+	if n <= 0 {
+		app := imp.ToApp()
+		n = app.R
+		if app.C > n {
+			n = app.C
+		}
+		n *= 2
+	}
+	if n > maxChipSize {
+		return 0, fmt.Errorf("engine: chip_size %d exceeds limit %d", n, maxChipSize)
+	}
+	return n, nil
+}
+
+// boundedAttempts resolves and bounds the per-chip configuration budget.
+func boundedAttempts(req Request) (int, error) {
+	if req.MaxAttempts > maxMaxAttempts {
+		return 0, fmt.Errorf("engine: max_attempts %d exceeds limit %d", req.MaxAttempts, maxMaxAttempts)
+	}
+	if req.MaxAttempts <= 0 {
+		return defaultMaxAttempts, nil
+	}
+	return req.MaxAttempts, nil
+}
+
+// mapOnce places imp on one chip and summarizes the recovery effort.
+func mapOnce(imp *core.Implementation, chip *defect.Map, scheme bism.Mapper, maxAttempts int, rng *rand.Rand) (*MapResult, error) {
+	rep, err := core.MapWithRecovery(imp, chip, scheme, maxAttempts, rng)
+	if err != nil {
+		return nil, err
+	}
+	mr := &MapResult{
+		Success:   rep.Stats.Success,
+		Configs:   rep.Stats.Configs,
+		BISTCalls: rep.Stats.BISTCalls,
+		BISDCalls: rep.Stats.BISDCalls,
+		ChipSize:  chip.R,
+	}
+	if rep.Mapping != nil {
+		mr.Rows = rep.Mapping.Rows
+		mr.Cols = rep.Mapping.Cols
+	}
+	return mr, nil
+}
+
+func (e *Engine) runMap(req Request) Result {
+	f, tech, opts, err := e.resolve(req)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	imp, _, err := e.synth(f, tech, opts)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	maxAttempts, err := boundedAttempts(req)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+	var chip *defect.Map
+	if req.Chip != nil {
+		chip, err = req.Chip.ToMap()
+	} else {
+		var n int
+		if n, err = chipSizeFor(req, imp); err == nil {
+			chip = defect.Random(n, n, defect.UniformCrosspoint(req.Density), rng)
+		}
+	}
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	mr, err := mapOnce(imp, chip, scheme, maxAttempts, rng)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	return Result{Kind: req.Kind, Map: mr}
+}
+
+// subSeed derives the deterministic per-die seed of die i (splitmix64
+// increment keeps neighboring dies decorrelated).
+func subSeed(seed int64, i int) int64 {
+	return seed + int64(i)*-0x61c8864680b583eb
+}
+
+func (e *Engine) runYield(req Request) Result {
+	f, tech, opts, err := e.resolve(req)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	if req.Chip != nil {
+		return errResult(req.Kind, fmt.Errorf("engine: yield requests draw random chips; supply density, not an explicit chip"))
+	}
+	imp, _, err := e.synth(f, tech, opts)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	chips := req.Chips
+	if chips <= 0 {
+		chips = defaultYieldChips
+	}
+	if chips > maxChips {
+		return errResult(req.Kind, fmt.Errorf("engine: chips %d exceeds limit %d", chips, maxChips))
+	}
+	maxAttempts, err := boundedAttempts(req)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+	size, err := chipSizeFor(req, imp)
+	if err != nil {
+		return errResult(req.Kind, err)
+	}
+
+	// Fan the dies across fresh goroutines (not the pool: pool jobs
+	// waiting on sub-jobs of the same pool can deadlock when every
+	// worker holds a yield request). Each die gets its own sub-seeded
+	// RNG, so results are independent of scheduling order.
+	type dieOut struct {
+		mr  *MapResult
+		err error
+	}
+	outs := make([]dieOut, chips)
+	par := e.workers
+	if par > chips {
+		par = chips
+	}
+	// oneDie maps die i; panics become that die's error instead of
+	// unwinding the bare goroutine (which would kill the process).
+	oneDie := func(i int) (mr *MapResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("engine: panic mapping die %d: %v", i, r)
+			}
+		}()
+		rng := rand.New(rand.NewSource(subSeed(req.Seed, i)))
+		chip := defect.Random(size, size, defect.UniformCrosspoint(req.Density), rng)
+		return mapOnce(imp, chip, scheme, maxAttempts, rng)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= chips {
+					return
+				}
+				mr, err := oneDie(i)
+				outs[i] = dieOut{mr: mr, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	yr := &YieldResult{Chips: chips}
+	var configs, bist, bisd int
+	for _, o := range outs {
+		if o.err != nil {
+			return errResult(req.Kind, o.err)
+		}
+		if o.mr.Success {
+			yr.Successes++
+		}
+		configs += o.mr.Configs
+		bist += o.mr.BISTCalls
+		bisd += o.mr.BISDCalls
+	}
+	yr.SuccessRate = float64(yr.Successes) / float64(chips)
+	yr.AvgConfigs = float64(configs) / float64(chips)
+	yr.AvgBIST = float64(bist) / float64(chips)
+	yr.AvgBISD = float64(bisd) / float64(chips)
+	return Result{Kind: req.Kind, Yield: yr}
+}
+
+// Stats is a point-in-time snapshot of the engine counters, shaped for
+// the daemon's /stats endpoint.
+type Stats struct {
+	Workers        int    `json:"workers"`
+	CacheCapacity  int    `json:"cache_capacity"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	SynthCalls     uint64 `json:"synth_calls"` // underlying core.Synthesize invocations
+	Requests       uint64 `json:"requests"`
+	Failures       uint64 `json:"failures"`
+	Synthesizes    uint64 `json:"requests_synthesize"`
+	Compares       uint64 `json:"requests_compare"`
+	Maps           uint64 `json:"requests_map"`
+	Yields         uint64 `json:"requests_yield"`
+	Fingerprint    string `json:"fingerprint"`
+}
+
+// Stats returns the current counters.
+func (e *Engine) Stats() Stats {
+	hits, misses, evictions, entries := e.cache.counters()
+	return Stats{
+		Workers:        e.workers,
+		CacheCapacity:  e.cache.capacity,
+		CacheEntries:   entries,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		SynthCalls:     e.synthCalls.Load(),
+		Requests:       e.requests.Load(),
+		Failures:       e.failures.Load(),
+		Synthesizes:    e.byKind[0].Load(),
+		Compares:       e.byKind[1].Load(),
+		Maps:           e.byKind[2].Load(),
+		Yields:         e.byKind[3].Load(),
+		Fingerprint:    core.Fingerprint(),
+	}
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"nanoxbar/internal/benchfn"
+	"nanoxbar/internal/bism"
+	"nanoxbar/internal/core"
+	"nanoxbar/internal/defect"
+)
+
+// Serving-path baselines: how much the cache saves on the shared
+// synthesis step, and how much the worker pool saves on per-chip
+// mapping fan-out. Future PRs optimizing the serving path compare
+// against these numbers.
+
+func BenchmarkSynthesizeUncached(b *testing.B) {
+	spec := benchfn.NineSym()
+	opts := core.DefaultOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Synthesize(spec.F, core.FourTerminal, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeCached(b *testing.B) {
+	e := New(Config{Workers: 4, CacheSize: 64})
+	defer e.Close()
+	spec := benchfn.NineSym()
+	opts := core.DefaultOptions()
+	if _, _, err := e.Synthesize(spec.F, core.FourTerminal, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Synthesize(spec.F, core.FourTerminal, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// perChipBatch builds one batch of per-chip mapping requests for the
+// same function with distinct seeds — the daemon's hot path.
+func perChipBatch(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Kind:     KindMap,
+			Function: FunctionSpec{Name: "maj3"},
+			Density:  0.05,
+			Seed:     int64(i),
+		}
+	}
+	return reqs
+}
+
+func BenchmarkMapBatchPooled(b *testing.B) {
+	e := New(Config{CacheSize: 64}) // default worker count
+	defer e.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range e.SubmitBatch(perChipBatch(64)) {
+			if !r.Ok() {
+				b.Fatal(r.Error)
+			}
+		}
+	}
+}
+
+func BenchmarkMapBatchSerial(b *testing.B) {
+	// The same 64-chip workload without the engine: one synthesis,
+	// then sequential MapWithRecovery calls on the caller goroutine.
+	spec := benchfn.Majority(3)
+	opts := core.DefaultOptions()
+	imp, err := core.Synthesize(spec.F, core.FourTerminal, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := imp.ToApp()
+	n := 2 * max(app.R, app.C)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < 64; c++ {
+			rng := rand.New(rand.NewSource(int64(c)))
+			chip := defect.Random(n, n, defect.UniformCrosspoint(0.05), rng)
+			if _, err := core.MapWithRecovery(imp, chip, bism.Greedy{}, defaultMaxAttempts, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package engine
+
+import "sync"
+
+// pool is a bounded worker pool: a fixed set of goroutines draining one
+// job channel. Submission blocks once the buffer fills, giving callers
+// natural backpressure instead of unbounded goroutine growth.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{jobs: make(chan func(), 4*workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job; it blocks when the queue is full.
+func (p *pool) submit(job func()) { p.jobs <- job }
+
+// close stops accepting jobs and waits for the workers to drain.
+func (p *pool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -12,8 +12,11 @@
 package truthtab
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -437,6 +440,80 @@ func (t TT) CompactSupport() (TT, []int) {
 		}
 	}
 	return r, sup
+}
+
+// Words returns a copy of the backing bit vector, least significant
+// word first. The slice has exactly ceil(2^n / 64) entries (one word
+// minimum) and unused high bits of the last word are zero, so the
+// result is a canonical serialization of the function.
+func (t TT) Words() []uint64 {
+	w := make([]uint64, len(t.w))
+	copy(w, t.w)
+	return w
+}
+
+// Hash64 returns a 64-bit FNV-1a hash of the function (variable count
+// and table bits). It is deterministic across processes and suitable
+// for sharding or as a fast pre-filter; exact-match callers must still
+// compare with Equal.
+func (t TT) Hash64() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(t.n))
+	h.Write(buf[:])
+	for _, w := range t.w {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Parse decodes the String representation "n:0xHEX" back into a table.
+// It accepts any hex string whose bits fit in 2^n table entries.
+func Parse(s string) (TT, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return TT{}, fmt.Errorf("truthtab: missing ':' in %q", s)
+	}
+	n, err := strconv.Atoi(s[:colon])
+	if err != nil || strconv.Itoa(n) != s[:colon] { // reject "+3", "03", "3x"
+		return TT{}, fmt.Errorf("truthtab: bad variable count %q in %q", s[:colon], s)
+	}
+	if n < 0 || n > MaxVars {
+		return TT{}, fmt.Errorf("truthtab: %d variables out of range [0,%d]", n, MaxVars)
+	}
+	hex := s[colon+1:]
+	if strings.HasPrefix(hex, "0x") || strings.HasPrefix(hex, "0X") {
+		hex = hex[2:]
+	}
+	if hex == "" {
+		return TT{}, fmt.Errorf("truthtab: empty table in %q", s)
+	}
+	t := New(n)
+	// Consume hex digits from the least significant end.
+	for i := 0; i < len(hex); i++ {
+		c := hex[len(hex)-1-i]
+		var v uint64
+		switch {
+		case c >= '0' && c <= '9':
+			v = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v = uint64(c-'A') + 10
+		default:
+			return TT{}, fmt.Errorf("truthtab: bad hex digit %q in %q", c, s)
+		}
+		if v == 0 {
+			continue
+		}
+		word, shift := i/16, uint(i%16*4)
+		if word >= len(t.w) || (word == len(t.w)-1 && v<<shift&^mask(n) != 0) {
+			return TT{}, fmt.Errorf("truthtab: table %q overflows %d variables", s, n)
+		}
+		t.w[word] |= v << shift
+	}
+	return t, nil
 }
 
 // String renders the table as a hex string, most significant word first,

@@ -338,3 +338,72 @@ func TestPanics(t *testing.T) {
 	mustPanic("bad permutation", func() { New(2).Permute([]int{0, 0}) })
 	mustPanic("extend shrink", func() { New(3).Extend(2) })
 }
+
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n <= 9; n++ {
+		for trial := 0; trial < 8; trial++ {
+			f := randTT(n, rng)
+			g, err := Parse(f.String())
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", f.String(), err)
+			}
+			if !g.Equal(f) {
+				t.Fatalf("round trip changed %v into %v", f, g)
+			}
+		}
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	for _, s := range []string{"3:0x96", "3:0X96", "3:96", "3:0x0096"} {
+		f, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		want := FromMinterms(3, []uint64{1, 2, 4, 7})
+		if !f.Equal(want) {
+			t.Fatalf("Parse(%q) = %v, want %v", s, f, want)
+		}
+	}
+	for _, s := range []string{"", "0x96", "3:", "3:0x", "-1:0x1", "25:0x1", "2:0x1f", "3:zz", "x:0x1", "3x:0x96", "+3:0x96", "03:0x96", "3 4:0x96"} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) accepted invalid input", s)
+		}
+	}
+}
+
+func TestWordsCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := randTT(8, rng)
+	w := f.Words()
+	if len(w) != 4 {
+		t.Fatalf("8-var table has %d words, want 4", len(w))
+	}
+	w[0] = ^w[0] // mutating the copy must not touch the table
+	if f.Words()[0] == w[0] {
+		t.Fatal("Words returned the backing slice, not a copy")
+	}
+}
+
+func TestHash64(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seen := make(map[uint64]TT)
+	for n := 1; n <= 8; n++ {
+		for trial := 0; trial < 50; trial++ {
+			f := randTT(n, rng)
+			h := f.Hash64()
+			if h != f.Clone().Hash64() {
+				t.Fatal("Hash64 not deterministic")
+			}
+			if prev, ok := seen[h]; ok && !prev.Equal(f) {
+				// Collisions are legal but wildly unlikely in 400 draws.
+				t.Logf("hash collision between %v and %v", prev, f)
+			}
+			seen[h] = f
+		}
+	}
+	if Zero(3).Hash64() == Zero(4).Hash64() {
+		t.Fatal("variable count not hashed")
+	}
+}
