@@ -1,0 +1,159 @@
+// Command benchjson runs the repository's performance benchmark suites
+// (lattice evaluation, lattice synthesis, QM minimization, serving
+// engine) and emits a machine-readable JSON report, so the perf
+// trajectory of the hot paths is tracked in-tree from PR to PR.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_lattice.json] [-bench regex] [-benchtime 0.5s] [-pkgs p1,p2,...]
+//
+// CI runs it with -benchtime 1x as a smoke check; release numbers are
+// regenerated with the default benchtime and committed as
+// BENCH_lattice.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultPkgs are the suites covering the synthesis/serving hot paths.
+const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine"
+
+// Benchmark is one parsed benchmark line.
+type Benchmark struct {
+	Pkg        string  `json:"pkg"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present when the suite ran -benchmem
+	// (always, here) and the bench reports allocations.
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	CPU         string      `json:"cpu,omitempty"`
+	Benchtime   string      `json:"benchtime"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_lattice.json", "output JSON path (- for stdout)")
+	benchRe := flag.String("bench", ".", "benchmark name regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "0.5s", "go test -benchtime value")
+	pkgs := flag.String("pkgs", defaultPkgs, "comma-separated packages to benchmark")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime}
+	args = append(args, strings.Split(*pkgs, ",")...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchtime:   *benchtime,
+	}
+	parseBenchOutput(string(raw), &rep)
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines in go test output:\n%s", raw)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseBenchOutput scans standard `go test -bench` text: "pkg:" and
+// "cpu:" header lines, then one line per benchmark of the form
+//
+//	BenchmarkName-8   1203   9876 ns/op   120 B/op   3 allocs/op   42.0 custom/metric
+//
+// with an iteration count followed by (value, unit) pairs.
+func parseBenchOutput(raw string, rep *Report) {
+	pkg := ""
+	for _, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Pkg: pkg, Name: name, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				v := int64(val)
+				b.BytesPerOp = &v
+			case "allocs/op":
+				v := int64(val)
+				b.AllocsPerOp = &v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+}

@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	xbarserverd [-addr :8080] [-workers N] [-cache 1024]
+//	xbarserverd [-addr :8080] [-workers N] [-cache 1024] [-pprof]
 package main
 
 import (
@@ -36,14 +36,19 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	cacheSize := flag.Int("cache", 1024, "synthesis cache entries")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	eng := engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize})
 	defer eng.Close()
 
+	var sopts []serverOption
+	if *pprofOn {
+		sopts = append(sopts, withPprof())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           newServer(eng, sopts...),
 		ReadHeaderTimeout: 10 * time.Second,
 		// No blanket write timeout: large yield sweeps legitimately run
 		// long. The per-request bound is the scheme's MaxAttempts.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"nanoxbar/internal/engine"
 )
@@ -22,14 +23,32 @@ type server struct {
 	mux *http.ServeMux
 }
 
-func newServer(eng *engine.Engine) *server {
+func newServer(eng *engine.Engine, opts ...serverOption) *server {
 	s := &server{eng: eng, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/synthesize", s.handleSingle(engine.KindSynthesize, engine.KindCompare))
 	s.mux.HandleFunc("/v1/map", s.handleSingle(engine.KindMap, engine.KindYield))
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
+}
+
+type serverOption func(*server)
+
+// withPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default: the profiler exposes internals and
+// costs CPU while sampling, so it is opt-in via the -pprof flag.
+func withPprof() serverOption {
+	return func(s *server) {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

@@ -220,6 +220,61 @@ func TestBatchHundredChipsOneMiss(t *testing.T) {
 	}
 }
 
+// TestPprofOptIn checks /debug/pprof/ is mounted only behind the
+// -pprof flag, and that /stats carries the lattice evaluation counters.
+func TestPprofOptIn(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without flag: status %d, want 404", resp.StatusCode)
+	}
+
+	eng := engine.New(engine.Config{Workers: 2, CacheSize: 8})
+	t.Cleanup(eng.Close)
+	tsp := httptest.NewServer(newServer(eng, withPprof()))
+	t.Cleanup(tsp.Close)
+	resp, err = http.Get(tsp.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d, want 200", resp.StatusCode)
+	}
+
+	// A lattice synthesis must move the process-wide evaluation
+	// counters surfaced in /stats. The counters are cumulative across
+	// the whole test binary, so assert on the delta around this
+	// request, not on being nonzero.
+	getStats := func() engine.Stats {
+		t.Helper()
+		sr, err := http.Get(tsp.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sr.Body.Close()
+		var st engine.Stats
+		if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	before := getStats()
+	postJSON(t, tsp.URL+"/v1/synthesize", engine.Request{
+		Function: engine.FunctionSpec{Expr: "x1x2 + x2x3 + x1x3"},
+	})
+	after := getStats()
+	if after.Evaluation.FastImplements <= before.Evaluation.FastImplements ||
+		after.Evaluation.WordBlocks <= before.Evaluation.WordBlocks {
+		t.Fatalf("stats evaluation counters did not advance: before %+v after %+v",
+			before.Evaluation, after.Evaluation)
+	}
+}
+
 func TestBatchLimits(t *testing.T) {
 	ts := newTestServer(t)
 	resp, _ := postJSON(t, ts.URL+"/v1/batch", map[string]any{"requests": []engine.Request{}})

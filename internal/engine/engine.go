@@ -19,6 +19,7 @@ import (
 	"nanoxbar/internal/bism"
 	"nanoxbar/internal/core"
 	"nanoxbar/internal/defect"
+	"nanoxbar/internal/lattice"
 	"nanoxbar/internal/truthtab"
 )
 
@@ -428,13 +429,18 @@ type Stats struct {
 	Compares       uint64 `json:"requests_compare"`
 	Maps           uint64 `json:"requests_map"`
 	Yields         uint64 `json:"requests_yield"`
-	Fingerprint    string `json:"fingerprint"`
+	// Evaluation counts process-wide lattice evaluation work — the
+	// synthesis hot path — split into the per-assignment scalar walks
+	// and the bit-parallel word-block percolations that replaced them.
+	Evaluation  lattice.Counters `json:"lattice_evaluation"`
+	Fingerprint string           `json:"fingerprint"`
 }
 
 // Stats returns the current counters.
 func (e *Engine) Stats() Stats {
 	hits, misses, evictions, entries := e.cache.counters()
 	return Stats{
+		Evaluation:     lattice.CounterSnapshot(),
 		Workers:        e.workers,
 		CacheCapacity:  e.cache.capacity,
 		CacheEntries:   entries,

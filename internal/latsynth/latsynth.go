@@ -111,7 +111,7 @@ func DualMethod(f truthtab.TT, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !l.Implements(f) {
+	if !l.ImplementsFast(f) {
 		// The construction is proven correct for implicant covers of f
 		// and f^D; reaching this indicates a bug upstream.
 		return nil, fmt.Errorf("latsynth: dual-method lattice does not implement f (f=%v)", f)
@@ -167,15 +167,19 @@ func BuildDualGrid(fc, dc cube.Cover, choice CellChoice) (*lattice.Lattice, erro
 // PostReduce repeatedly deletes any single row or column whose removal
 // leaves the lattice still implementing f, until no deletion applies.
 // Deleting a wire is always physically realizable, so this is a safe
-// area optimization.
+// area optimization. Each deletion trial re-verifies the function
+// through one shared bit-parallel evaluator, which exits on the first
+// mismatching 64-assignment word — the common case, since most
+// deletions break the function.
 func PostReduce(l *lattice.Lattice, f truthtab.TT) *lattice.Lattice {
+	ev := lattice.NewEvaluator()
 	cur := l
 	for {
 		improved := false
 		if cur.R > 1 {
 			for i := 0; i < cur.R; i++ {
 				cand := deleteRow(cur, i)
-				if cand.Implements(f) {
+				if ev.Implements(cand, f) {
 					cur = cand
 					improved = true
 					break
@@ -185,7 +189,7 @@ func PostReduce(l *lattice.Lattice, f truthtab.TT) *lattice.Lattice {
 		if !improved && cur.C > 1 {
 			for j := 0; j < cur.C; j++ {
 				cand := deleteCol(cur, j)
-				if cand.Implements(f) {
+				if ev.Implements(cand, f) {
 					cur = cand
 					improved = true
 					break
@@ -242,7 +246,7 @@ func SOPBaseline(f truthtab.TT, opts Options) (*Result, error) {
 		ls[i] = lattice.FromCube(c)
 	}
 	l := lattice.OrAll(ls...)
-	if !l.Implements(f) {
+	if !l.ImplementsFast(f) {
 		return nil, fmt.Errorf("latsynth: SOP baseline lattice incorrect")
 	}
 	return &Result{Lattice: l, FCover: fc, Method: "sop-or", ExactSOP: exact}, nil

@@ -49,13 +49,14 @@ func Optimal(f truthtab.TT, opts OptimalOptions) (*lattice.Lattice, bool) {
 		cands = append(cands, lattice.Site{Kind: lattice.Const0}, lattice.Site{Kind: lattice.Const1})
 	}
 	budget := opts.NodeBudget
+	ev := lattice.NewEvaluator() // shared scratch across all candidate shapes
 	for area := 1; area <= opts.MaxArea; area++ {
 		for r := 1; r <= area; r++ {
 			if area%r != 0 {
 				continue
 			}
 			c := area / r
-			s := &optSearch{f: f, n: n, cands: cands, budget: &budget}
+			s := &optSearch{f: f, n: n, cands: cands, budget: &budget, ev: ev}
 			if got := s.run(r, c); got != nil {
 				return got, true
 			}
@@ -72,6 +73,7 @@ type optSearch struct {
 	n      int
 	cands  []lattice.Site
 	budget *int
+	ev     *lattice.Evaluator
 	l      *lattice.Lattice
 	filled int
 }
@@ -93,7 +95,7 @@ func (s *optSearch) dfs() bool {
 	}
 	*s.budget--
 	if s.filled == s.l.R*s.l.C {
-		return s.l.Implements(s.f)
+		return s.ev.Implements(s.l, s.f)
 	}
 	r, c := s.filled/s.l.C, s.filled%s.l.C
 	for _, cand := range s.cands {
@@ -108,63 +110,11 @@ func (s *optSearch) dfs() bool {
 	return false
 }
 
-// feasible applies the two monotone prunes to the current partial fill.
+// feasible applies the two monotone prunes to the current partial fill
+// in one bit-parallel pass: with unfilled sites conducting the lattice
+// must still cover f, with unfilled sites blocking it must stay within
+// f (lattice.Evaluator.FeasiblePartial evaluates all 2^n assignments
+// 64 at a time instead of one BFS per assignment).
 func (s *optSearch) feasible() bool {
-	for a := uint64(0); a < s.f.Size(); a++ {
-		want := s.f.Bit(a)
-		if want {
-			// Optimistic: unfilled sites conduct.
-			if !s.evalPartial(a, true) {
-				return false
-			}
-		} else {
-			// Pessimistic: unfilled sites block.
-			if s.evalPartial(a, false) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// evalPartial runs the top-bottom BFS with unfilled sites treated as
-// conducting (optimistic) or blocking (pessimistic).
-func (s *optSearch) evalPartial(a uint64, optimistic bool) bool {
-	R, C := s.l.R, s.l.C
-	on := make([]bool, R*C)
-	for i := 0; i < R*C; i++ {
-		if i >= s.filled {
-			on[i] = optimistic
-		} else {
-			on[i] = s.l.At(i/C, i%C).On(a)
-		}
-	}
-	var stack []int
-	visited := make([]bool, R*C)
-	for c := 0; c < C; c++ {
-		if on[c] {
-			stack = append(stack, c)
-			visited[c] = true
-		}
-	}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		r, c := cur/C, cur%C
-		if r == R-1 {
-			return true
-		}
-		for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
-			nr, nc := r+d[0], c+d[1]
-			if nr < 0 || nr >= R || nc < 0 || nc >= C {
-				continue
-			}
-			ni := nr*C + nc
-			if on[ni] && !visited[ni] {
-				visited[ni] = true
-				stack = append(stack, ni)
-			}
-		}
-	}
-	return false
+	return s.ev.FeasiblePartial(s.l, s.filled, s.f)
 }

@@ -198,6 +198,8 @@ func (l *Lattice) Function(n int) truthtab.TT {
 			t.SetBit(a, true)
 		}
 	}
+	// One batched counter update per expansion (see functionWords).
+	ctrScalarEvals.Add(t.Size())
 	return t
 }
 
@@ -209,6 +211,7 @@ func (l *Lattice) DualFunction(n int) truthtab.TT {
 			t.SetBit(a, true)
 		}
 	}
+	ctrScalarEvals.Add(t.Size())
 	return t
 }
 

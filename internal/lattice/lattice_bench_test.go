@@ -39,6 +39,82 @@ func BenchmarkFunction6Var(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalFast8x8 is the zero-alloc scalar path: same BFS as
+// BenchmarkEval8x8 with the evaluator's reused scratch.
+func BenchmarkEvalFast8x8(b *testing.B) {
+	l := benchLattice(8, 8, 6, 1)
+	ev := NewEvaluator()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Eval(l, uint64(i)&63)
+	}
+}
+
+// BenchmarkFunctionFast6Var is the bit-parallel counterpart of
+// BenchmarkFunction6Var: one 64-wide frontier percolation instead of 64
+// BFS passes.
+func BenchmarkFunctionFast6Var(b *testing.B) {
+	l := benchLattice(6, 6, 6, 3)
+	for i := 0; i < b.N; i++ {
+		l.FunctionFast(6)
+	}
+}
+
+// BenchmarkEvaluatorWords6Var is the steady-state evaluator loop —
+// result words land in reused scratch, so this must run at 0 allocs/op.
+func BenchmarkEvaluatorWords6Var(b *testing.B) {
+	l := benchLattice(6, 6, 6, 3)
+	ev := NewEvaluator()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.FunctionWords(l, 6)
+	}
+}
+
+// BenchmarkFunction8Var / BenchmarkFunctionFast8Var measure a
+// multi-word (2^8 assignments = 4 words) expansion.
+func BenchmarkFunction8Var(b *testing.B) {
+	l := benchLattice(8, 8, 8, 6)
+	for i := 0; i < b.N; i++ {
+		l.Function(8)
+	}
+}
+
+func BenchmarkFunctionFast8Var(b *testing.B) {
+	l := benchLattice(8, 8, 8, 6)
+	for i := 0; i < b.N; i++ {
+		l.FunctionFast(8)
+	}
+}
+
+// BenchmarkImplementsScalar6Var / BenchmarkImplementsFast6Var measure
+// the verification check PostReduce issues per deletion trial, on a
+// succeeding (worst-case: no early exit) instance.
+func BenchmarkImplementsScalar6Var(b *testing.B) {
+	l := benchLattice(6, 6, 6, 3)
+	f := l.Function(6)
+	for i := 0; i < b.N; i++ {
+		l.Implements(f)
+	}
+}
+
+func BenchmarkImplementsFast6Var(b *testing.B) {
+	l := benchLattice(6, 6, 6, 3)
+	f := l.Function(6)
+	ev := NewEvaluator()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Implements(l, f)
+	}
+}
+
+func BenchmarkDualFunctionFast6Var(b *testing.B) {
+	l := benchLattice(6, 6, 6, 2)
+	for i := 0; i < b.N; i++ {
+		l.DualFunctionFast(6)
+	}
+}
+
 func BenchmarkOrCompose(b *testing.B) {
 	x := benchLattice(4, 4, 4, 4)
 	y := benchLattice(3, 5, 4, 5)

@@ -14,6 +14,7 @@ package qm
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 
 	"nanoxbar/internal/cube"
@@ -81,50 +82,105 @@ func Primes(on, dc truthtab.TT, opts Options) ([]cube.Cube, error) {
 		return []cube.Cube{cube.Universe}, nil
 	}
 
-	cur := make(map[implicant]bool) // value: combined into a larger implicant?
+	// The generation loop keeps the frontier in a slice sorted by
+	// (dc mask, popcount, value): pairing partners then live in
+	// adjacent popcount runs of the same dc run, and duplicates of the
+	// next generation compact away after one sort — no per-generation
+	// maps. The cur/next backing arrays and the combined flags are
+	// swapped and reused across generations, so steady-state work
+	// allocates only when a generation outgrows every previous one.
+	cur := make([]implicant, 0, care.CountOnes())
 	care.ForEachMinterm(func(a uint64) {
-		cur[implicant{val: a}] = false
+		cur = append(cur, implicant{val: a})
 	})
-	var primes []cube.Cube
+	var (
+		next     []implicant
+		combined []bool
+		primes   []cube.Cube
+	)
 	for len(cur) > 0 {
 		if opts.MaxPrimes > 0 && len(cur) > opts.MaxPrimes {
 			return nil, fmt.Errorf("qm: implicant frontier %d exceeds limit %d", len(cur), opts.MaxPrimes)
 		}
-		next := make(map[implicant]bool)
-		// Group implicants by (dc mask, popcount) for pairing.
-		groups := make(map[uint64]map[int][]implicant)
-		for im := range cur {
-			g := groups[im.dc]
-			if g == nil {
-				g = make(map[int][]implicant)
-				groups[im.dc] = g
+		slices.SortFunc(cur, func(a, b implicant) int {
+			if a.dc != b.dc {
+				if a.dc < b.dc {
+					return -1
+				}
+				return 1
 			}
-			pc := bits.OnesCount64(im.val)
-			g[pc] = append(g[pc], im)
+			if d := bits.OnesCount64(a.val) - bits.OnesCount64(b.val); d != 0 {
+				return d
+			}
+			if a.val < b.val {
+				return -1
+			}
+			if a.val > b.val {
+				return 1
+			}
+			return 0
+		})
+		if cap(combined) < len(cur) {
+			combined = make([]bool, len(cur))
+		} else {
+			combined = combined[:len(cur)]
+			clear(combined)
 		}
-		combined := make(map[implicant]bool, len(cur))
-		for _, g := range groups {
-			for pc, lows := range g {
-				highs := g[pc+1]
-				for _, a := range lows {
-					for _, b := range highs {
-						diff := a.val ^ b.val
+		next = next[:0]
+		for gs := 0; gs < len(cur); {
+			ge := gs
+			for ge < len(cur) && cur[ge].dc == cur[gs].dc {
+				ge++
+			}
+			// Pair each popcount run with the run one higher.
+			for ls := gs; ls < ge; {
+				pc := bits.OnesCount64(cur[ls].val)
+				le := ls
+				for le < ge && bits.OnesCount64(cur[le].val) == pc {
+					le++
+				}
+				he := le
+				for he < ge && bits.OnesCount64(cur[he].val) == pc+1 {
+					he++
+				}
+				for i := ls; i < le; i++ {
+					for j := le; j < he; j++ {
+						diff := cur[i].val ^ cur[j].val
 						if bits.OnesCount64(diff) != 1 {
 							continue
 						}
-						combined[a] = true
-						combined[b] = true
-						next[implicant{val: a.val &^ diff, dc: a.dc | diff}] = false
+						combined[i], combined[j] = true, true
+						next = append(next, implicant{val: cur[i].val &^ diff, dc: cur[i].dc | diff})
 					}
 				}
+				ls = le
 			}
+			gs = ge
 		}
-		for im := range cur {
-			if !combined[im] {
+		for i, im := range cur {
+			if !combined[i] {
 				primes = append(primes, im.toCube(n))
 			}
 		}
-		cur = next
+		// Dedup the next generation (one merged implicant arises once
+		// per don't-care bit) by sort + compact.
+		slices.SortFunc(next, func(a, b implicant) int {
+			if a.dc != b.dc {
+				if a.dc < b.dc {
+					return -1
+				}
+				return 1
+			}
+			if a.val < b.val {
+				return -1
+			}
+			if a.val > b.val {
+				return 1
+			}
+			return 0
+		})
+		next = slices.Compact(next)
+		cur, next = next, cur
 	}
 	// Deterministic order for reproducible covers.
 	sort.Slice(primes, func(i, j int) bool {

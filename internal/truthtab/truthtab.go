@@ -136,6 +136,27 @@ func FromFunc(n int, eval func(a uint64) bool) TT {
 	return t
 }
 
+// FromWords builds an n-variable table from a 64-bit word vector in the
+// Words layout (assignment a is bit a&63 of word a>>6). Missing words
+// are zero-filled, excess words must be zero, and unused high bits of
+// the last word are masked off, so any prefix of a valid Words slice is
+// accepted.
+func FromWords(n int, w []uint64) (TT, error) {
+	checkN(n)
+	t := New(n)
+	if len(w) > len(t.w) {
+		for _, x := range w[len(t.w):] {
+			if x != 0 {
+				return TT{}, fmt.Errorf("truthtab: %d words overflow %d variables", len(w), n)
+			}
+		}
+		w = w[:len(t.w)]
+	}
+	copy(t.w, w)
+	t.w[len(t.w)-1] &= mask(n)
+	return t, nil
+}
+
 // NumVars returns the number of variables n.
 func (t TT) NumVars() int { return t.n }
 
@@ -441,6 +462,15 @@ func (t TT) CompactSupport() (TT, []int) {
 	}
 	return r, sup
 }
+
+// NumWords returns the length of the Words vector: ceil(2^n / 64),
+// minimum one.
+func (t TT) NumWords() int { return len(t.w) }
+
+// Word returns word i of the Words vector without copying. Bit-parallel
+// evaluators compare against tables word-by-word through this accessor
+// so their steady-state loops stay allocation-free.
+func (t TT) Word(i int) uint64 { return t.w[i] }
 
 // Words returns a copy of the backing bit vector, least significant
 // word first. The slice has exactly ceil(2^n / 64) entries (one word

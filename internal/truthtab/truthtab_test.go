@@ -407,3 +407,36 @@ func TestHash64(t *testing.T) {
 		t.Fatal("variable count not hashed")
 	}
 }
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 0; n <= 8; n++ {
+		for trial := 0; trial < 20; trial++ {
+			f := randTT(n, rng)
+			g, err := FromWords(n, f.Words())
+			if err != nil || !g.Equal(f) {
+				t.Fatalf("n=%d: FromWords(Words()) = %v (err %v), want %v", n, g, err, f)
+			}
+			if f.NumWords() != len(f.Words()) {
+				t.Fatalf("n=%d: NumWords %d != len(Words) %d", n, f.NumWords(), len(f.Words()))
+			}
+			for i := 0; i < f.NumWords(); i++ {
+				if f.Word(i) != f.Words()[i] {
+					t.Fatalf("n=%d: Word(%d) mismatch", n, i)
+				}
+			}
+		}
+	}
+	// Unused high bits of a short table are masked off.
+	g, err := FromWords(2, []uint64{^uint64(0)})
+	if err != nil || !g.IsOne() || g.Words()[0] != 0xf {
+		t.Fatalf("masking: %v (err %v)", g, err)
+	}
+	// A truncated word vector zero-fills; excess nonzero words reject.
+	if g, err = FromWords(7, []uint64{5}); err != nil || g.Word(0) != 5 || g.Word(1) != 0 {
+		t.Fatalf("zero-fill: %v (err %v)", g, err)
+	}
+	if _, err = FromWords(2, []uint64{1, 1}); err == nil {
+		t.Fatal("overflowing words accepted")
+	}
+}
