@@ -24,8 +24,11 @@ import (
 	"time"
 )
 
-// defaultPkgs are the suites covering the synthesis/serving hot paths.
-const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine"
+// defaultPkgs are the suites covering the synthesis/serving hot paths,
+// including the client/server round trip through the v2 HTTP protocol
+// (internal/httpapi) so serving overhead is tracked alongside raw
+// engine numbers.
+const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine,./internal/httpapi"
 
 // Benchmark is one parsed benchmark line.
 type Benchmark struct {

@@ -1,5 +1,6 @@
-// Command faultsim drives the fault-tolerance machinery: BIST coverage
-// audits, BISM Monte Carlo sweeps, and defect-unaware flow extraction.
+// Command faultsim drives the fault-tolerance machinery through the
+// public SDK (pkg/nanoxbar): BIST coverage audits, BISM Monte Carlo
+// sweeps, and defect-unaware flow extraction.
 //
 // Usage:
 //
@@ -14,10 +15,7 @@ import (
 	"math/rand"
 	"os"
 
-	"nanoxbar/internal/bism"
-	"nanoxbar/internal/bist"
-	"nanoxbar/internal/defect"
-	"nanoxbar/internal/dflow"
+	"nanoxbar/pkg/nanoxbar"
 )
 
 func main() {
@@ -47,12 +45,12 @@ func runBIST(args []string) {
 	cols := fs.Int("cols", 16, "crossbar columns")
 	fs.Parse(args)
 
-	det := bist.DetectionSuite(*rows, *cols)
+	det := nanoxbar.DetectionSuite(*rows, *cols)
 	covered, total := det.Coverage()
 	fmt.Printf("detection: %d configurations, %d vectors, coverage %d/%d (%.1f%%)\n",
 		det.NumConfigs(), det.NumVectors(), covered, total, 100*float64(covered)/float64(total))
 
-	diag := bist.DiagnosisSuite(*rows, *cols)
+	diag := nanoxbar.DiagnosisSuite(*rows, *cols)
 	groups := diag.SyndromeTable()
 	multi := 0
 	for _, g := range groups {
@@ -61,7 +59,7 @@ func runBIST(args []string) {
 		}
 	}
 	fmt.Printf("diagnosis: %d configurations (log bound %d) for %d faults; %d distinct syndromes, %d same-resource groups\n",
-		diag.NumConfigs(), bist.LogBound(*rows, *cols), total, len(groups), multi)
+		diag.NumConfigs(), nanoxbar.BISTLogBound(*rows, *cols), total, len(groups), multi)
 }
 
 func runBISM(args []string) {
@@ -75,14 +73,14 @@ func runBISM(args []string) {
 	fs.Parse(args)
 
 	rng := rand.New(rand.NewSource(*seed))
-	mappers := []bism.Mapper{bism.Blind{}, bism.Greedy{}, bism.Hybrid{BlindBudget: 4}}
+	mappers := []nanoxbar.Mapper{nanoxbar.Blind{}, nanoxbar.Greedy{}, nanoxbar.Hybrid{BlindBudget: 4}}
 	fmt.Printf("chip %d×%d, app %d×%d, defect density %.3f, %d trials\n", *n, *n, *app, *app, *density, *trials)
 	for _, m := range mappers {
 		ok, configs, cost := 0, 0, 0.0
 		for t := 0; t < *trials; t++ {
-			dm := defect.Random(*n, *n, defect.UniformCrosspoint(*density), rng)
-			a := bism.RandomApp(*app, *app, 0.5, rng)
-			mp, st := m.Map(bism.NewChip(dm), a, *budget, rng)
+			dm := nanoxbar.RandomDefectMap(*n, *n, nanoxbar.UniformCrosspoint(*density), rng)
+			a := nanoxbar.RandomApp(*app, *app, 0.5, rng)
+			mp, st := m.Map(nanoxbar.NewChip(dm), a, *budget, rng)
 			if mp != nil {
 				ok++
 			}
@@ -105,8 +103,8 @@ func runDFlow(args []string) {
 	rng := rand.New(rand.NewSource(*seed))
 	sum, minK, maxK := 0, 1<<30, 0
 	for t := 0; t < *trials; t++ {
-		m := defect.Random(*n, *n, defect.UniformCrosspoint(*density), rng)
-		k := dflow.Greedy(m).K()
+		m := nanoxbar.RandomDefectMap(*n, *n, nanoxbar.UniformCrosspoint(*density), rng)
+		k := nanoxbar.GreedyExtraction(m).K()
 		sum += k
 		if k < minK {
 			minK = k
@@ -118,9 +116,9 @@ func runDFlow(args []string) {
 	mean := float64(sum) / float64(*trials)
 	fmt.Printf("N=%d p=%.3f: recovered k mean %.1f (min %d, max %d), k/N %.0f%%\n",
 		*n, *density, mean, minK, maxK, 100*mean/float64(*n))
-	e := dflow.Greedy(defect.NewMap(*n, *n))
-	fmt.Printf("descriptor: %d bits (full defect map: %d bits)\n", e.DescriptorBits(*n), dflow.RawMapBits(*n))
-	aware, unaware := dflow.CompareFlows(*n, int(mean), 1000, 10, dflow.DefaultCosts())
+	e := nanoxbar.GreedyExtraction(nanoxbar.NewDefectMap(*n, *n))
+	fmt.Printf("descriptor: %d bits (full defect map: %d bits)\n", e.DescriptorBits(*n), nanoxbar.RawMapBits(*n))
+	aware, unaware := nanoxbar.CompareFlows(*n, int(mean), 1000, 10, nanoxbar.DefaultFlowCosts())
 	fmt.Printf("flow cost for 1000 chips × 10 apps: defect-aware %.0f, defect-unaware %.0f (%.2f× advantage)\n",
 		aware, unaware, aware/unaware)
 }

@@ -1,5 +1,7 @@
 // Command latsynth synthesizes a four-terminal switching lattice for a
-// Boolean function given as an expression or a single-output PLA file.
+// Boolean function given as an expression or a single-output PLA file,
+// using the public SDK (pkg/nanoxbar). Ctrl-C cancels a running
+// exhaustive optimal search through the context.
 //
 // Usage:
 //
@@ -8,17 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"nanoxbar/internal/bexpr"
-	"nanoxbar/internal/cube"
-	"nanoxbar/internal/dreduce"
-	"nanoxbar/internal/latsynth"
-	"nanoxbar/internal/lattice"
-	"nanoxbar/internal/pcircuit"
-	"nanoxbar/internal/truthtab"
+	"nanoxbar/pkg/nanoxbar"
 )
 
 func main() {
@@ -29,30 +27,33 @@ func main() {
 	showPaths := flag.Bool("paths", false, "print the lattice path products")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	f, n, err := loadFunction(*expr, *plaPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "latsynth:", err)
 		os.Exit(1)
 	}
-	opts := latsynth.DefaultOptions()
+	opts := nanoxbar.DefaultSynthOptions()
 	if *isopCovers {
 		opts.Exact = false
 	}
 
-	var l *lattice.Lattice
+	var l *nanoxbar.Lattice
 	var label string
 	switch *method {
 	case "dual":
-		res, err := latsynth.DualMethod(f, opts)
+		res, err := nanoxbar.DualMethod(f, opts)
 		exitOn(err)
 		l, label = res.Lattice, "dual method"
 		fmt.Printf("f cover:  %v\nfD cover: %v\n", res.FCover, res.DualCover)
 	case "pcircuit":
-		res, err := pcircuit.Best(f, pcircuit.Options{Synth: opts, Mode: pcircuit.WithIntersection})
+		res, err := nanoxbar.PCircuitBest(f, opts)
 		exitOn(err)
 		l, label = res.Lattice, fmt.Sprintf("P-circuit (split x%d, %v)", res.Var+1, res.Mode)
 	case "dreduce":
-		res, err := dreduce.Synthesize(f, opts)
+		res, err := nanoxbar.DReduce(f, opts)
 		exitOn(err)
 		l, label = res.Lattice, "D-reducible decomposition"
 		if res.Analysis != nil {
@@ -61,9 +62,13 @@ func main() {
 	case "best":
 		l, label = bestOf(f, opts)
 	case "optimal":
-		got, done := latsynth.Optimal(f, latsynth.DefaultOptimalOptions())
+		got, done := nanoxbar.OptimalLattice(ctx, f, nanoxbar.DefaultOptimalOptions())
 		if got == nil {
-			fmt.Fprintf(os.Stderr, "latsynth: optimal search found nothing (completed=%v)\n", done)
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "latsynth: optimal search canceled")
+			} else {
+				fmt.Fprintf(os.Stderr, "latsynth: optimal search found nothing (completed=%v)\n", done)
+			}
 			os.Exit(1)
 		}
 		l, label = got, "exhaustive optimal search"
@@ -89,40 +94,40 @@ func main() {
 	}
 }
 
-func bestOf(f truthtab.TT, opts latsynth.Options) (*lattice.Lattice, string) {
-	res, err := latsynth.DualMethod(f, opts)
+func bestOf(f nanoxbar.TruthTable, opts nanoxbar.SynthOptions) (*nanoxbar.Lattice, string) {
+	res, err := nanoxbar.DualMethod(f, opts)
 	exitOn(err)
 	best, label := res.Lattice, "dual method"
-	if p, err := pcircuit.Best(f, pcircuit.Options{Synth: opts, Mode: pcircuit.WithIntersection}); err == nil && p.Area() < best.Area() {
+	if p, err := nanoxbar.PCircuitBest(f, opts); err == nil && p.Area() < best.Area() {
 		best, label = p.Lattice, fmt.Sprintf("P-circuit (split x%d)", p.Var+1)
 	}
-	if d, err := dreduce.Synthesize(f, opts); err == nil && d.Area() < best.Area() {
+	if d, err := nanoxbar.DReduce(f, opts); err == nil && d.Area() < best.Area() {
 		best, label = d.Lattice, "D-reducible decomposition"
 	}
 	return best, label
 }
 
-func loadFunction(expr, plaPath string) (truthtab.TT, int, error) {
+func loadFunction(expr, plaPath string) (nanoxbar.TruthTable, int, error) {
 	switch {
 	case expr != "" && plaPath != "":
-		return truthtab.TT{}, 0, fmt.Errorf("choose one of -f and -pla")
+		return nanoxbar.TruthTable{}, 0, fmt.Errorf("choose one of -f and -pla")
 	case expr != "":
-		return bexpr.ParseTT(expr)
+		return nanoxbar.ParseExpr(expr)
 	case plaPath != "":
 		text, err := os.ReadFile(plaPath)
 		if err != nil {
-			return truthtab.TT{}, 0, err
+			return nanoxbar.TruthTable{}, 0, err
 		}
-		p, err := cube.ParsePLA(string(text))
+		p, err := nanoxbar.ParsePLA(string(text))
 		if err != nil {
-			return truthtab.TT{}, 0, err
+			return nanoxbar.TruthTable{}, 0, err
 		}
 		if p.Outputs != 1 {
-			return truthtab.TT{}, 0, fmt.Errorf("PLA has %d outputs; latsynth handles one", p.Outputs)
+			return nanoxbar.TruthTable{}, 0, fmt.Errorf("PLA has %d outputs; latsynth handles one", p.Outputs)
 		}
 		return p.Covers[0].ToTT(p.Inputs), p.Inputs, nil
 	default:
-		return truthtab.TT{}, 0, fmt.Errorf("need -f or -pla (try -f \"x1x2 + x1'x2'\")")
+		return nanoxbar.TruthTable{}, 0, fmt.Errorf("need -f or -pla (try -f \"x1x2 + x1'x2'\")")
 	}
 }
 

@@ -2,10 +2,13 @@
 // mapping pipeline over HTTP. Synthesis results are cached and shared
 // across requests (one core.Synthesize per distinct function ×
 // technology × options); per-chip mapping jobs fan out across a bounded
-// worker pool.
+// worker pool. The handler lives in internal/httpapi; this command is
+// flag parsing and lifecycle.
 //
 // Endpoints:
 //
+//	POST /v2/jobs        any request kinds — NDJSON stream, results
+//	                     flushed as workers finish; structured errors
 //	POST /v1/synthesize  one synthesize or compare request
 //	POST /v1/map         one per-chip map or yield-sweep request
 //	POST /v1/batch       {"requests": [...]} — fan-out, results in order
@@ -30,6 +33,7 @@ import (
 
 	"nanoxbar/internal/core"
 	"nanoxbar/internal/engine"
+	"nanoxbar/internal/httpapi"
 )
 
 func main() {
@@ -42,16 +46,18 @@ func main() {
 	eng := engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize})
 	defer eng.Close()
 
-	var sopts []serverOption
+	var sopts []httpapi.Option
 	if *pprofOn {
-		sopts = append(sopts, withPprof())
+		sopts = append(sopts, httpapi.WithPprof())
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, sopts...),
+		Handler:           httpapi.New(eng, sopts...),
 		ReadHeaderTimeout: 10 * time.Second,
 		// No blanket write timeout: large yield sweeps legitimately run
-		// long. The per-request bound is the scheme's MaxAttempts.
+		// long. The per-request bound is the scheme's MaxAttempts, and
+		// v2 clients that hang up cancel their work via the request
+		// context.
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,8 @@
 // Command xbarsize prints the crossbar array sizes — diode, FET
 // (Fig. 3) and four-terminal lattice (Fig. 5) — for a Boolean function
-// or for the whole benchmark suite.
+// or for the whole benchmark suite. It runs on the public SDK
+// (pkg/nanoxbar): one in-process client whose synthesis cache is shared
+// across the suite sweep.
 //
 // Usage:
 //
@@ -9,14 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
-	"nanoxbar/internal/benchfn"
-	"nanoxbar/internal/bexpr"
-	"nanoxbar/internal/core"
+	"nanoxbar/pkg/nanoxbar"
 )
 
 func main() {
@@ -24,22 +25,25 @@ func main() {
 	suite := flag.Bool("suite", false, "run the whole benchmark suite")
 	flag.Parse()
 
-	opts := core.DefaultOptions()
+	cl := nanoxbar.NewClient(nanoxbar.ClientConfig{})
+	defer cl.Close()
+	ctx := context.Background()
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "name\tn\tdiode\tFET\tlattice\tmethod\twinner")
 	defer tw.Flush()
 
-	run := func(name string, spec benchfn.Spec) error {
-		cmp, err := core.CompareTechnologies(spec.F, opts)
+	run := func(name string, n int, f nanoxbar.FunctionSpec) error {
+		cmp, err := cl.Compare(ctx, f)
 		if err != nil {
 			return err
 		}
 		winner := "lattice"
-		if cmp.Lattice.Area() > cmp.Diode.Area() || cmp.Lattice.Area() > cmp.FET.Area() {
+		if cmp.Lattice.Area > cmp.Diode.Area || cmp.Lattice.Area > cmp.FET.Area {
 			winner = "two-terminal"
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d×%d\t%d×%d\t%d×%d\t%s\t%s\n",
-			name, spec.N(),
+			name, n,
 			cmp.Diode.Rows, cmp.Diode.Cols,
 			cmp.FET.Rows, cmp.FET.Cols,
 			cmp.Lattice.Rows, cmp.Lattice.Cols,
@@ -49,18 +53,18 @@ func main() {
 
 	switch {
 	case *suite:
-		for _, s := range benchfn.Suite() {
-			if err := run(s.Name, s); err != nil {
+		for _, s := range nanoxbar.BenchSuite() {
+			if err := run(s.Name, s.N(), nanoxbar.Func(s.Name)); err != nil {
 				fmt.Fprintln(os.Stderr, "xbarsize:", s.Name, err)
 			}
 		}
 	case *expr != "":
-		f, _, err := bexpr.ParseTT(*expr)
+		_, n, err := nanoxbar.ParseExpr(*expr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xbarsize:", err)
 			os.Exit(1)
 		}
-		if err := run("f", benchfn.Spec{Name: "f", Description: *expr, F: f}); err != nil {
+		if err := run("f", n, nanoxbar.Expr(*expr)); err != nil {
 			fmt.Fprintln(os.Stderr, "xbarsize:", err)
 			os.Exit(1)
 		}

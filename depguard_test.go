@@ -1,0 +1,61 @@
+package nanoxbar_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// publicOnlyDirs are the trees that must program exclusively against
+// the public SDK: the runnable examples and the user-facing CLIs. They
+// are the API-compatibility canary — if pkg/nanoxbar loses surface
+// these need, they stop compiling; if anyone reaches back into
+// internal/ from them, this test fails.
+//
+// The serving daemon (cmd/xbarserverd), the experiment reproducers
+// (cmd/repro, cmd/benchjson), and pkg/nanoxbar itself are the module's
+// own plumbing and may use internal packages.
+var publicOnlyDirs = []string{
+	"examples",
+	"cmd/xbarsize",
+	"cmd/latsynth",
+	"cmd/faultsim",
+}
+
+// TestDepguardPublicAPIOnly walks the public-only trees and rejects
+// any import of nanoxbar/internal/...: external users could not build
+// that code, so it would be a broken advertisement of the SDK.
+func TestDepguardPublicAPIOnly(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range publicOnlyDirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if p == "nanoxbar/internal" || strings.HasPrefix(p, "nanoxbar/internal/") {
+					t.Errorf("%s imports %s: examples and CLIs must use pkg/nanoxbar only", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+}

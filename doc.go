@@ -4,8 +4,13 @@
 // nano-crossbar arrays with area optimization, and the paper's built-in
 // test, diagnosis, self-mapping, and defect-unaware design flows.
 //
-// The implementation lives under internal/ (see DESIGN.md for the
-// module inventory); cmd/ hosts the command-line tools, examples/ the
-// runnable walkthroughs, and bench_test.go in this directory regenerates
-// every experiment of the paper's evaluation (EXPERIMENTS.md).
+// The public SDK lives in pkg/nanoxbar (context-aware typed client
+// API, error taxonomy, and the re-exported library surface) with an
+// HTTP twin in pkg/nanoxbar/client; the implementation lives under
+// internal/ (see DESIGN.md for the module inventory and the
+// pkg → engine → internal layering). cmd/ hosts the command-line tools
+// and the serving daemon, examples/ the runnable walkthroughs (built
+// on pkg/nanoxbar only), and bench_test.go in this directory
+// regenerates every experiment of the paper's evaluation
+// (EXPERIMENTS.md).
 package nanoxbar

@@ -1,29 +1,27 @@
-// Adder demonstrates the paper's future-work arithmetic package: a
-// 4-bit ripple-carry adder built as a network of four-terminal
-// lattices, compared per output bit against flat (single-array)
-// implementations on all three technologies.
+// Adder demonstrates the paper's future-work arithmetic package
+// through the public SDK: a 4-bit ripple-carry adder built as a
+// network of four-terminal lattices, compared per output bit against
+// flat (single-array) implementations on all three technologies.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"nanoxbar/internal/arith"
-	"nanoxbar/internal/benchfn"
-	"nanoxbar/internal/core"
-	"nanoxbar/internal/latsynth"
+	"nanoxbar/pkg/nanoxbar"
 )
 
 func main() {
 	const n = 4
-	nw := arith.RippleAdder(n, latsynth.DefaultOptions())
+	nw := nanoxbar.RippleAdder(n, nanoxbar.DefaultSynthOptions())
 	fmt.Printf("%d-bit ripple adder: %d lattices, total area %d\n",
 		n, nw.NumLattices(), nw.TotalArea())
 
 	// Exhaustive self-check.
 	for a := uint64(0); a < 1<<n; a++ {
 		for b := uint64(0); b < 1<<n; b++ {
-			if got := arith.AddUint(nw, n, a, b); got != a+b {
+			if got := nanoxbar.AddUint(nw, n, a, b); got != a+b {
 				log.Fatalf("adder wrong: %d+%d=%d", a, b, got)
 			}
 		}
@@ -34,11 +32,12 @@ func main() {
 	// over all 2n inputs, on each technology. The low bits stay small;
 	// the high bits show why multi-level networks (and the paper's SOP
 	// constraint) matter.
+	ctx := context.Background()
 	fmt.Println("\nflat single-array cost per output bit (2-bit slice):")
 	fmt.Println("bit   diode      FET        lattice")
 	for b := 0; b <= 2; b++ {
-		spec := benchfn.AdderBit(2, b)
-		cmp, err := core.CompareTechnologies(spec.F, core.DefaultOptions())
+		spec := nanoxbar.AdderBit(2, b)
+		cmp, err := nanoxbar.CompareTechnologies(ctx, spec.F, nanoxbar.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,12 +47,12 @@ func main() {
 			cmp.Lattice.Rows, cmp.Lattice.Cols, cmp.Lattice.Area())
 	}
 
-	cmpNet := arith.Comparator(n, latsynth.DefaultOptions())
+	cmpNet := nanoxbar.Comparator(n, nanoxbar.DefaultSynthOptions())
 	fmt.Printf("\n%d-bit comparator network: %d lattices, total area %d\n",
 		n, cmpNet.NumLattices(), cmpNet.TotalArea())
 	for a := uint64(0); a < 1<<n; a++ {
 		for b := uint64(0); b < 1<<n; b++ {
-			if arith.GreaterUint(cmpNet, n, a, b) != (a > b) {
+			if nanoxbar.GreaterUint(cmpNet, n, a, b) != (a > b) {
 				log.Fatalf("comparator wrong at %d,%d", a, b)
 			}
 		}

@@ -1,19 +1,16 @@
-// Faulttolerance walks the full reliability pipeline of Section IV on a
-// defective 32×32 chip: BIST audit, the three BISM schemes placing a
-// synthesized function, and the defect-unaware k×k extraction.
+// Faulttolerance walks the full reliability pipeline of Section IV on
+// a defective 32×32 chip through the public SDK: BIST audit, the three
+// BISM schemes placing a synthesized function, and the defect-unaware
+// k×k extraction.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"nanoxbar/internal/benchfn"
-	"nanoxbar/internal/bism"
-	"nanoxbar/internal/bist"
-	"nanoxbar/internal/core"
-	"nanoxbar/internal/defect"
-	"nanoxbar/internal/dflow"
+	"nanoxbar/pkg/nanoxbar"
 )
 
 func main() {
@@ -22,28 +19,28 @@ func main() {
 	const density = 0.04
 
 	// Fabricate a defective chip.
-	chip := defect.Random(n, n, defect.UniformCrosspoint(density), rng)
+	chip := nanoxbar.RandomDefectMap(n, n, nanoxbar.UniformCrosspoint(density), rng)
 	fmt.Printf("chip: %d×%d, %d defective crosspoints (density %.1f%%)\n",
 		n, n, chip.CountCrosspointDefects(), 100*density)
 
 	// BIST: what would the built-in test machinery cost on this array?
-	det := bist.DetectionSuite(n, n)
+	det := nanoxbar.DetectionSuite(n, n)
 	covered, total := det.Coverage()
 	fmt.Printf("BIST: %d configurations, %d vectors → %d/%d single faults detected\n",
 		det.NumConfigs(), det.NumVectors(), covered, total)
-	diag := bist.DiagnosisSuite(n, n)
+	diag := nanoxbar.DiagnosisSuite(n, n)
 	fmt.Printf("BISD: %d configurations for %d possible faults (log2 bound %d)\n\n",
-		diag.NumConfigs(), total, bist.LogBound(n, n))
+		diag.NumConfigs(), total, nanoxbar.BISTLogBound(n, n))
 
 	// Synthesize a function and place it with each BISM scheme.
-	spec := benchfn.Majority(5)
-	im, err := core.Synthesize(spec.F, core.FourTerminal, core.DefaultOptions())
+	spec := nanoxbar.Majority(5)
+	im, err := nanoxbar.Synthesize(context.Background(), spec.F, nanoxbar.FourTerminal, nanoxbar.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("placing %s (%d×%d lattice) on the defective chip:\n", spec.Name, im.Rows, im.Cols)
-	for _, scheme := range []bism.Mapper{bism.Blind{}, bism.Greedy{}, bism.Hybrid{BlindBudget: 4}} {
-		rep, err := core.MapWithRecovery(im, chip, scheme, 500, rng)
+	for _, scheme := range []nanoxbar.Mapper{nanoxbar.Blind{}, nanoxbar.Greedy{}, nanoxbar.Hybrid{BlindBudget: 4}} {
+		rep, err := nanoxbar.MapWithRecovery(im, chip, scheme, 500, rng)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,12 +54,12 @@ func main() {
 	}
 
 	// Defect-unaware flow: recover a universal sub-crossbar once.
-	e := dflow.Greedy(chip)
+	e := nanoxbar.GreedyExtraction(chip)
 	fmt.Printf("\ndefect-unaware flow: recovered universal %d×%d sub-crossbar (k/N = %.0f%%)\n",
 		e.K(), e.K(), 100*float64(e.K())/float64(n))
 	fmt.Printf("descriptor: %d bits vs full defect map %d bits\n",
-		e.DescriptorBits(n), dflow.RawMapBits(n))
-	aware, unaware := dflow.CompareFlows(n, e.K(), 1000, 10, dflow.DefaultCosts())
+		e.DescriptorBits(n), nanoxbar.RawMapBits(n))
+	aware, unaware := nanoxbar.CompareFlows(n, e.K(), 1000, 10, nanoxbar.DefaultFlowCosts())
 	fmt.Printf("flow cost (1000 chips × 10 apps): defect-aware %.0f vs defect-unaware %.0f (%.1f×)\n",
 		aware, unaware, aware/unaware)
 }

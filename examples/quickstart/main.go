@@ -1,24 +1,24 @@
-// Quickstart walks through the paper's running examples: the two-level
-// array sizes of Fig. 3 for f = x1x2 + x1'x2', the 2×2 four-terminal
-// lattice of Fig. 5, and the hand-crafted 3×2 lattice of Fig. 4.
+// Quickstart walks through the paper's running examples on the public
+// SDK (pkg/nanoxbar): the two-level array sizes of Fig. 3 for
+// f = x1x2 + x1'x2', the 2×2 four-terminal lattice of Fig. 5, and the
+// hand-crafted 3×2 lattice of Fig. 4.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"nanoxbar/internal/bexpr"
-	"nanoxbar/internal/core"
-	"nanoxbar/internal/lattice"
+	"nanoxbar/pkg/nanoxbar"
 )
 
 func main() {
-	// --- the §III running example ---
-	f, _, err := bexpr.ParseTT("x1x2 + x1'x2'")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cmp, err := core.CompareTechnologies(f, core.DefaultOptions())
+	ctx := context.Background()
+
+	// --- the §III running example, via the serving client ---
+	cl := nanoxbar.NewClient(nanoxbar.ClientConfig{})
+	defer cl.Close()
+	cmp, err := cl.Compare(ctx, nanoxbar.Expr("x1x2 + x1'x2'"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,17 +26,28 @@ func main() {
 	fmt.Printf("  diode array:   %d×%d  (paper: 2×5)\n", cmp.Diode.Rows, cmp.Diode.Cols)
 	fmt.Printf("  FET array:     %d×%d  (paper: 4×4)\n", cmp.FET.Rows, cmp.FET.Cols)
 	fmt.Printf("  4T lattice:    %d×%d  (paper: 2×2)\n\n", cmp.Lattice.Rows, cmp.Lattice.Cols)
-	fmt.Println(cmp.Lattice.Lattice)
 
-	// --- the Fig. 4 lattice ---
-	fig4, _, err := bexpr.ParseTT("x1x2x3 + x1x2x5x6 + x2x3x4x5 + x4x5x6")
+	// The client returns sizes; for the lattice grid itself, use the
+	// direct synthesis surface.
+	f, _, err := nanoxbar.ParseExpr("x1x2 + x1'x2'")
 	if err != nil {
 		log.Fatal(err)
 	}
-	hand := lattice.New(3, 2)
+	li, err := nanoxbar.Synthesize(ctx, f, nanoxbar.FourTerminal, nanoxbar.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(li.Lattice)
+
+	// --- the Fig. 4 lattice ---
+	fig4, _, err := nanoxbar.ParseExpr("x1x2x3 + x1x2x5x6 + x2x3x4x5 + x4x5x6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hand := nanoxbar.NewLattice(3, 2)
 	for i := 0; i < 3; i++ {
-		hand.Set(i, 0, lattice.Lit(i, false))
-		hand.Set(i, 1, lattice.Lit(3+i, false))
+		hand.Set(i, 0, nanoxbar.Lit(i, false))
+		hand.Set(i, 1, nanoxbar.Lit(3+i, false))
 	}
 	fmt.Println("Fig. 4: hand-crafted 3×2 lattice")
 	fmt.Print(hand)
@@ -47,10 +58,10 @@ func main() {
 	}
 	fmt.Printf("top-to-bottom path products: %v\n", paths)
 
-	li, err := core.Synthesize(fig4, core.FourTerminal, core.DefaultOptions())
+	auto, err := nanoxbar.Synthesize(ctx, fig4, nanoxbar.FourTerminal, nanoxbar.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nautomatic synthesis of the same function: %d×%d via %s\n",
-		li.Rows, li.Cols, li.Method)
+		auto.Rows, auto.Cols, auto.Method)
 }

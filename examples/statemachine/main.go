@@ -1,7 +1,7 @@
-// Statemachine demonstrates the paper's objective 4: a synchronous
-// state machine (SSM) whose next-state and output logic run on
-// four-terminal switching lattices — here the classic "101" sequence
-// detector with overlap.
+// Statemachine demonstrates the paper's objective 4 through the public
+// SDK: a synchronous state machine (SSM) whose next-state and output
+// logic run on four-terminal switching lattices — here the classic
+// "101" sequence detector with overlap.
 package main
 
 import (
@@ -10,13 +10,12 @@ import (
 	"math/rand"
 	"strings"
 
-	"nanoxbar/internal/arith"
-	"nanoxbar/internal/latsynth"
+	"nanoxbar/pkg/nanoxbar"
 )
 
 func main() {
-	spec := arith.SequenceDetector101()
-	m, err := arith.SynthesizeSSM(spec, latsynth.DefaultOptions())
+	spec := nanoxbar.SequenceDetector101()
+	m, err := nanoxbar.SynthesizeSSM(spec, nanoxbar.DefaultSynthOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

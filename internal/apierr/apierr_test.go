@@ -1,0 +1,96 @@
+package apierr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestTaxonomy is the table-driven contract for the error taxonomy:
+// every constructor wraps its sentinel (errors.Is), exposes the typed
+// *Error (errors.As), and round-trips through the wire code without
+// losing its classification.
+func TestTaxonomy(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+		code     string
+	}{
+		{"bad_spec", BadSpec("unknown benchmark %q", "nope"), ErrBadSpec, CodeBadSpec},
+		{"infeasible", Infeasible("app 8x8 exceeds chip 4x4"), ErrInfeasible, CodeInfeasible},
+		{"canceled", Canceled(context.Canceled), ErrCanceled, CodeCanceled},
+		{"deadline", Canceled(context.DeadlineExceeded), ErrCanceled, CodeCanceled},
+		{"internal", Internal("panic: %v", "boom"), ErrInternal, CodeInternal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !errors.Is(tc.err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, %v) = false", tc.err, tc.sentinel)
+			}
+			var ae *Error
+			if !errors.As(tc.err, &ae) {
+				t.Fatalf("errors.As(%v, *Error) = false", tc.err)
+			}
+			if got := CodeOf(tc.err); got != tc.code {
+				t.Fatalf("CodeOf(%v) = %q, want %q", tc.err, got, tc.code)
+			}
+			// Wire round-trip: code+detail → typed error with the same
+			// sentinel and message.
+			rt := FromCode(CodeOf(tc.err), tc.err.Error())
+			if !errors.Is(rt, tc.sentinel) {
+				t.Fatalf("round-tripped error %v lost sentinel %v", rt, tc.sentinel)
+			}
+			if rt.Error() != tc.err.Error() {
+				t.Fatalf("round-tripped detail %q, want %q", rt.Error(), tc.err.Error())
+			}
+			// Wrapping through fmt keeps the classification.
+			wrapped := fmt.Errorf("engine: %w", tc.err)
+			if !errors.Is(wrapped, tc.sentinel) || CodeOf(wrapped) != tc.code {
+				t.Fatalf("fmt-wrapped error lost classification: %v", wrapped)
+			}
+		})
+	}
+}
+
+func TestCodeOfPlainErrors(t *testing.T) {
+	if got := CodeOf(nil); got != "" {
+		t.Fatalf("CodeOf(nil) = %q, want empty", got)
+	}
+	if got := CodeOf(errors.New("mystery")); got != CodeInternal {
+		t.Fatalf("CodeOf(plain) = %q, want %q", got, CodeInternal)
+	}
+	if got := CodeOf(context.Canceled); got != CodeCanceled {
+		t.Fatalf("CodeOf(context.Canceled) = %q, want %q", got, CodeCanceled)
+	}
+	if got := CodeOf(fmt.Errorf("op: %w", context.DeadlineExceeded)); got != CodeCanceled {
+		t.Fatalf("CodeOf(wrapped deadline) = %q, want %q", got, CodeCanceled)
+	}
+}
+
+func TestFromCodeUnknown(t *testing.T) {
+	err := FromCode("no_such_code", "detail")
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("unknown code should map to ErrInternal, got %v", err)
+	}
+	if FromCode("", "") != nil {
+		t.Fatal("FromCode(\"\") should be nil")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(nil) != nil {
+		t.Fatal("Classify(nil) != nil")
+	}
+	pre := BadSpec("x")
+	if Classify(pre) != pre {
+		t.Fatal("Classify must preserve already-classified errors")
+	}
+	if !errors.Is(Classify(context.Canceled), ErrCanceled) {
+		t.Fatal("Classify(context.Canceled) should be ErrCanceled")
+	}
+	if !errors.Is(Classify(errors.New("x")), ErrInternal) {
+		t.Fatal("Classify(plain) should be ErrInternal")
+	}
+}

@@ -8,9 +8,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/bism"
 	"nanoxbar/internal/cube"
 	"nanoxbar/internal/defect"
@@ -78,6 +80,19 @@ func (im *Implementation) Area() int { return im.Rows * im.Cols }
 
 // Synthesize implements f on the chosen technology.
 func Synthesize(f truthtab.TT, tech Technology, opts Options) (*Implementation, error) {
+	return SynthesizeCtx(context.Background(), f, tech, opts)
+}
+
+// SynthesizeCtx is Synthesize with cancellation: the context is checked
+// before each synthesis phase (dual method, P-circuit search,
+// D-reducibility), so a canceled caller stops between the expensive
+// steps and gets an apierr.ErrCanceled-classified error. Synthesis
+// failures from the underlying engines are classified as
+// apierr.ErrInfeasible.
+func SynthesizeCtx(ctx context.Context, f truthtab.TT, tech Technology, opts Options) (*Implementation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, apierr.Canceled(err)
+	}
 	fc, dc, _ := latsynth.Covers(f, opts.Synth)
 	switch tech {
 	case Diode:
@@ -96,7 +111,7 @@ func Synthesize(f truthtab.TT, tech Technology, opts Options) (*Implementation, 
 	case FourTerminal:
 		best, err := latsynth.DualMethod(f, opts.Synth)
 		if err != nil {
-			return nil, err
+			return nil, apierr.Infeasible("core: dual method: %v", err)
 		}
 		method := "dual"
 		bestL := best.Lattice
@@ -104,6 +119,9 @@ func Synthesize(f truthtab.TT, tech Technology, opts Options) (*Implementation, 
 		// support variables the exact engines are out of their
 		// comfort zone and the search would dominate runtime.
 		if opts.TryPCircuit && len(f.Support()) >= 2 && len(f.Support()) <= 8 {
+			if err := ctx.Err(); err != nil {
+				return nil, apierr.Canceled(err)
+			}
 			if pres, err := pcircuit.Best(f, pcircuit.Options{Synth: opts.Synth, Mode: pcircuit.WithIntersection}); err == nil {
 				if pres.Area() < bestL.Area() {
 					bestL, method = pres.Lattice, "pcircuit"
@@ -111,6 +129,9 @@ func Synthesize(f truthtab.TT, tech Technology, opts Options) (*Implementation, 
 			}
 		}
 		if opts.TryDReduce && !f.IsZero() {
+			if err := ctx.Err(); err != nil {
+				return nil, apierr.Canceled(err)
+			}
 			if dres, err := dreduce.Synthesize(f, opts.Synth); err == nil {
 				if dres.Area() < bestL.Area() {
 					bestL, method = dres.Lattice, "dreduce"
@@ -122,7 +143,7 @@ func Synthesize(f truthtab.TT, tech Technology, opts Options) (*Implementation, 
 			Method: method, FCover: best.FCover, DualCover: best.DualCover, Lattice: bestL,
 		}, nil
 	}
-	return nil, fmt.Errorf("core: unknown technology %v", tech)
+	return nil, apierr.BadSpec("core: unknown technology %v", tech)
 }
 
 // Verify re-checks that the implementation computes f.
@@ -147,15 +168,21 @@ type Comparison struct {
 
 // CompareTechnologies synthesizes f on all three technologies.
 func CompareTechnologies(f truthtab.TT, opts Options) (*Comparison, error) {
-	d, err := Synthesize(f, Diode, opts)
+	return CompareTechnologiesCtx(context.Background(), f, opts)
+}
+
+// CompareTechnologiesCtx is CompareTechnologies with cancellation
+// between the per-technology syntheses.
+func CompareTechnologiesCtx(ctx context.Context, f truthtab.TT, opts Options) (*Comparison, error) {
+	d, err := SynthesizeCtx(ctx, f, Diode, opts)
 	if err != nil {
 		return nil, err
 	}
-	ft, err := Synthesize(f, FET, opts)
+	ft, err := SynthesizeCtx(ctx, f, FET, opts)
 	if err != nil {
 		return nil, err
 	}
-	l, err := Synthesize(f, FourTerminal, opts)
+	l, err := SynthesizeCtx(ctx, f, FourTerminal, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -213,10 +240,10 @@ type MapReport struct {
 func MapWithRecovery(im *Implementation, chip *defect.Map, scheme bism.Mapper, maxAttempts int, rng *rand.Rand) (*MapReport, error) {
 	app := im.ToApp()
 	if chip.R != chip.C {
-		return nil, fmt.Errorf("core: chip must be square, got %d×%d", chip.R, chip.C)
+		return nil, apierr.BadSpec("core: chip must be square, got %d×%d", chip.R, chip.C)
 	}
 	if app.R > chip.R || app.C > chip.C {
-		return nil, fmt.Errorf("core: implementation %d×%d exceeds chip %d×%d", app.R, app.C, chip.R, chip.C)
+		return nil, apierr.Infeasible("core: implementation %d×%d exceeds chip %d×%d", app.R, app.C, chip.R, chip.C)
 	}
 	m, st := scheme.Map(bism.NewChip(chip), app, maxAttempts, rng)
 	return &MapReport{Mapping: m, Stats: st}, nil

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/truthtab"
 )
 
@@ -34,7 +35,7 @@ func ParseTechnology(s string) (Technology, error) {
 	case "4t-lattice", "4t", "lattice", "fourterminal", "four-terminal":
 		return FourTerminal, nil
 	}
-	return 0, fmt.Errorf("core: unknown technology %q (want diode|fet|lattice)", s)
+	return 0, apierr.BadSpec("core: unknown technology %q (want diode|fet|lattice)", s)
 }
 
 // Canonical serializes the options deterministically: two Options

@@ -10,12 +10,13 @@
 package engine
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/bism"
 	"nanoxbar/internal/core"
 	"nanoxbar/internal/defect"
@@ -85,49 +86,124 @@ func (e *Engine) Close() { e.pool.close() }
 // Implementation is shared: callers must treat it as read-only. The
 // boolean reports a cache hit.
 func (e *Engine) Synthesize(f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, bool, error) {
-	imp, _, hit, err := e.synthKeyed(f, tech, opts)
+	imp, _, hit, err := e.synthKeyed(context.Background(), f, tech, opts)
 	return imp, hit, err
 }
 
 // synthKeyed is Synthesize plus the cache key, which is a SHA-256 over
 // the full truth table — computed once here and reused by callers that
-// report it.
-func (e *Engine) synthKeyed(f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, string, bool, error) {
+// report it. The context is checked on entry; the synthesis itself runs
+// detached from it, because a cache flight is shared work — a canceled
+// leader must not poison the result for concurrent followers of the
+// same key.
+func (e *Engine) synthKeyed(ctx context.Context, f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, string, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", false, apierr.Canceled(err)
+	}
 	key := core.CacheKey(f, tech, opts)
 	imp, err, hit := e.cache.getOrCompute(key, func() (*core.Implementation, error) {
 		e.synthCalls.Add(1)
-		return core.Synthesize(f, tech, opts)
+		return core.SynthesizeCtx(context.WithoutCancel(ctx), f, tech, opts)
 	})
 	return imp, key, hit, err
 }
 
+// DieFunc observes per-die outcomes of a yield sweep as dies complete
+// (completion order, not die order). Exactly one of mr/err is non-nil.
+type DieFunc func(die int, mr *MapResult, err error)
+
 // Do executes one request on the worker pool and waits for its result.
 func (e *Engine) Do(req Request) Result {
-	return e.SubmitBatch([]Request{req})[0]
+	return e.DoCtx(context.Background(), req)
+}
+
+// DoCtx executes one request on the worker pool, honoring cancellation:
+// a context canceled before the request starts yields an
+// apierr.ErrCanceled result without running it; a yield sweep canceled
+// mid-flight stops mapping further dies.
+func (e *Engine) DoCtx(ctx context.Context, req Request) Result {
+	return e.DoStream(ctx, req, nil)
+}
+
+// DoStream is DoCtx plus per-die streaming for KindYield requests:
+// onDie (when non-nil) fires as each die completes, before the
+// aggregate result returns. Calls to onDie are serialized.
+func (e *Engine) DoStream(ctx context.Context, req Request, onDie DieFunc) Result {
+	var res Result
+	e.SubmitStream(ctx, []Request{req},
+		func(_ int, r Result) { res = r },
+		func(_ int, die int, mr *MapResult, err error) {
+			if onDie != nil {
+				onDie(die, mr, err)
+			}
+		})
+	return res
 }
 
 // SubmitBatch fans the requests out across the worker pool and returns
 // their results in submission order. It blocks until every request has
 // completed; it is safe to call from many goroutines at once.
 func (e *Engine) SubmitBatch(reqs []Request) []Result {
+	return e.SubmitBatchCtx(context.Background(), reqs)
+}
+
+// SubmitBatchCtx is SubmitBatch with cancellation: once the context is
+// done, requests that have not started return apierr.ErrCanceled
+// results instead of running to completion, and in-flight yield sweeps
+// stop at the next die boundary.
+func (e *Engine) SubmitBatchCtx(ctx context.Context, reqs []Request) []Result {
 	results := make([]Result, len(reqs))
+	e.SubmitStream(ctx, reqs, func(i int, r Result) { results[i] = r }, nil)
+	return results
+}
+
+// SubmitStream fans the requests out across the worker pool, invoking
+// done(i, result) as each request completes — in completion order, not
+// submission order, which is what lets the HTTP layer flush finished
+// results while slower ones still run. onDie (optional) additionally
+// observes every die of yield requests as (request index, die index).
+// Both callbacks may be invoked concurrently from pool workers; callers
+// synchronize shared state. SubmitStream returns when every request has
+// been resolved (run, or reported canceled).
+func (e *Engine) SubmitStream(ctx context.Context, reqs []Request, done func(int, Result), onDie func(req, die int, mr *MapResult, err error)) {
 	var wg sync.WaitGroup
 	wg.Add(len(reqs))
 	for i := range reqs {
 		i := i
-		e.pool.submit(func() {
+		job := func() {
 			defer wg.Done()
-			results[i] = e.run(reqs[i])
-		})
+			var df DieFunc
+			if onDie != nil {
+				df = func(die int, mr *MapResult, err error) { onDie(i, die, mr, err) }
+			}
+			done(i, e.run(ctx, reqs[i], df))
+		}
+		if !e.pool.submitCtx(ctx, job) {
+			// Canceled while waiting for queue space: resolve the job
+			// here; it never reached a worker.
+			wg.Done()
+			done(i, e.canceledResult(reqs[i].Kind, ctx.Err()))
+		}
 	}
 	wg.Wait()
-	return results
+}
+
+// canceledResult accounts a request that was refused due to
+// cancellation, keeping the request/failure counters consistent with
+// executed work.
+func (e *Engine) canceledResult(kind Kind, cause error) Result {
+	e.requests.Add(1)
+	e.failures.Add(1)
+	return errResult(kind, apierr.Canceled(cause))
 }
 
 // run executes one request inline on the calling goroutine.
-func (e *Engine) run(req Request) Result {
+func (e *Engine) run(ctx context.Context, req Request, onDie DieFunc) Result {
+	if err := ctx.Err(); err != nil {
+		return e.canceledResult(req.Kind, err)
+	}
 	e.requests.Add(1)
-	res := e.dispatch(req)
+	res := e.dispatch(ctx, req, onDie)
 	if !res.Ok() {
 		e.failures.Add(1)
 	}
@@ -136,27 +212,27 @@ func (e *Engine) run(req Request) Result {
 
 // dispatch routes by kind, converting panics into error results so one
 // bad request cannot take down a pool worker (and with it the daemon).
-func (e *Engine) dispatch(req Request) (res Result) {
+func (e *Engine) dispatch(ctx context.Context, req Request, onDie DieFunc) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = errResult(req.Kind, fmt.Errorf("engine: panic executing request: %v", r))
+			res = errResult(req.Kind, apierr.Internal("engine: panic executing request: %v", r))
 		}
 	}()
 	switch req.Kind {
 	case KindSynthesize:
 		e.byKind[0].Add(1)
-		res = e.runSynthesize(req)
+		res = e.runSynthesize(ctx, req)
 	case KindCompare:
 		e.byKind[1].Add(1)
-		res = e.runCompare(req)
+		res = e.runCompare(ctx, req)
 	case KindMap:
 		e.byKind[2].Add(1)
-		res = e.runMap(req)
+		res = e.runMap(ctx, req)
 	case KindYield:
 		e.byKind[3].Add(1)
-		res = e.runYield(req)
+		res = e.runYield(ctx, req, onDie)
 	default:
-		res = errResult(req.Kind, fmt.Errorf("engine: unknown request kind %q", req.Kind))
+		res = errResult(req.Kind, apierr.BadSpec("engine: unknown request kind %q", req.Kind))
 	}
 	return res
 }
@@ -182,8 +258,8 @@ func (e *Engine) resolve(req Request) (truthtab.TT, core.Technology, core.Option
 }
 
 // synth runs one cached synthesis and summarizes it.
-func (e *Engine) synth(f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, SynthesisResult, error) {
-	imp, key, hit, err := e.synthKeyed(f, tech, opts)
+func (e *Engine) synth(ctx context.Context, f truthtab.TT, tech core.Technology, opts core.Options) (*core.Implementation, SynthesisResult, error) {
+	imp, key, hit, err := e.synthKeyed(ctx, f, tech, opts)
 	if err != nil {
 		return nil, SynthesisResult{}, err
 	}
@@ -193,19 +269,19 @@ func (e *Engine) synth(f truthtab.TT, tech core.Technology, opts core.Options) (
 	}, nil
 }
 
-func (e *Engine) runSynthesize(req Request) Result {
+func (e *Engine) runSynthesize(ctx context.Context, req Request) Result {
 	f, tech, opts, err := e.resolve(req)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
-	_, sr, err := e.synth(f, tech, opts)
+	_, sr, err := e.synth(ctx, f, tech, opts)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
 	return Result{Kind: req.Kind, Synthesis: &sr}
 }
 
-func (e *Engine) runCompare(req Request) Result {
+func (e *Engine) runCompare(ctx context.Context, req Request) Result {
 	f, _, opts, err := e.resolve(req)
 	if err != nil {
 		return errResult(req.Kind, err)
@@ -215,7 +291,7 @@ func (e *Engine) runCompare(req Request) Result {
 		tech core.Technology
 		dst  *SynthesisResult
 	}{{core.Diode, &cr.Diode}, {core.FET, &cr.FET}, {core.FourTerminal, &cr.Lattice}} {
-		_, sr, err := e.synth(f, tc.tech, opts)
+		_, sr, err := e.synth(ctx, f, tc.tech, opts)
 		if err != nil {
 			return errResult(req.Kind, err)
 		}
@@ -239,7 +315,7 @@ func chipSizeFor(req Request, imp *core.Implementation) (int, error) {
 		n *= 2
 	}
 	if n > maxChipSize {
-		return 0, fmt.Errorf("engine: chip_size %d exceeds limit %d", n, maxChipSize)
+		return 0, apierr.BadSpec("engine: chip_size %d exceeds limit %d", n, maxChipSize)
 	}
 	return n, nil
 }
@@ -247,7 +323,7 @@ func chipSizeFor(req Request, imp *core.Implementation) (int, error) {
 // boundedAttempts resolves and bounds the per-chip configuration budget.
 func boundedAttempts(req Request) (int, error) {
 	if req.MaxAttempts > maxMaxAttempts {
-		return 0, fmt.Errorf("engine: max_attempts %d exceeds limit %d", req.MaxAttempts, maxMaxAttempts)
+		return 0, apierr.BadSpec("engine: max_attempts %d exceeds limit %d", req.MaxAttempts, maxMaxAttempts)
 	}
 	if req.MaxAttempts <= 0 {
 		return defaultMaxAttempts, nil
@@ -275,7 +351,7 @@ func mapOnce(imp *core.Implementation, chip *defect.Map, scheme bism.Mapper, max
 	return mr, nil
 }
 
-func (e *Engine) runMap(req Request) Result {
+func (e *Engine) runMap(ctx context.Context, req Request) Result {
 	f, tech, opts, err := e.resolve(req)
 	if err != nil {
 		return errResult(req.Kind, err)
@@ -284,7 +360,7 @@ func (e *Engine) runMap(req Request) Result {
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
-	imp, _, err := e.synth(f, tech, opts)
+	imp, _, err := e.synth(ctx, f, tech, opts)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
@@ -318,7 +394,7 @@ func subSeed(seed int64, i int) int64 {
 	return seed + int64(i)*-0x61c8864680b583eb
 }
 
-func (e *Engine) runYield(req Request) Result {
+func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Result {
 	f, tech, opts, err := e.resolve(req)
 	if err != nil {
 		return errResult(req.Kind, err)
@@ -328,9 +404,9 @@ func (e *Engine) runYield(req Request) Result {
 		return errResult(req.Kind, err)
 	}
 	if req.Chip != nil {
-		return errResult(req.Kind, fmt.Errorf("engine: yield requests draw random chips; supply density, not an explicit chip"))
+		return errResult(req.Kind, apierr.BadSpec("engine: yield requests draw random chips; supply density, not an explicit chip"))
 	}
-	imp, _, err := e.synth(f, tech, opts)
+	imp, _, err := e.synth(ctx, f, tech, opts)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
@@ -339,7 +415,7 @@ func (e *Engine) runYield(req Request) Result {
 		chips = defaultYieldChips
 	}
 	if chips > maxChips {
-		return errResult(req.Kind, fmt.Errorf("engine: chips %d exceeds limit %d", chips, maxChips))
+		return errResult(req.Kind, apierr.BadSpec("engine: chips %d exceeds limit %d", chips, maxChips))
 	}
 	maxAttempts, err := boundedAttempts(req)
 	if err != nil {
@@ -353,7 +429,8 @@ func (e *Engine) runYield(req Request) Result {
 	// Fan the dies across fresh goroutines (not the pool: pool jobs
 	// waiting on sub-jobs of the same pool can deadlock when every
 	// worker holds a yield request). Each die gets its own sub-seeded
-	// RNG, so results are independent of scheduling order.
+	// RNG, so results are independent of scheduling order; onDie fires
+	// in completion order under emitMu.
 	type dieOut struct {
 		mr  *MapResult
 		err error
@@ -368,30 +445,50 @@ func (e *Engine) runYield(req Request) Result {
 	oneDie := func(i int) (mr *MapResult, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("engine: panic mapping die %d: %v", i, r)
+				err = apierr.Internal("engine: panic mapping die %d: %v", i, r)
 			}
 		}()
 		rng := rand.New(rand.NewSource(subSeed(req.Seed, i)))
 		chip := defect.Random(size, size, defect.UniformCrosspoint(req.Density), rng)
 		return mapOnce(imp, chip, scheme, maxAttempts, rng)
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		emitMu sync.Mutex
+	)
+	done := ctx.Done()
 	wg.Add(par)
 	for w := 0; w < par; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				// The die boundary is the cancellation point: a sweep
+				// canceled mid-flight stops drawing new dies; dies
+				// already being mapped finish.
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= chips {
 					return
 				}
 				mr, err := oneDie(i)
 				outs[i] = dieOut{mr: mr, err: err}
+				if onDie != nil {
+					emitMu.Lock()
+					onDie(i, mr, err)
+					emitMu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return errResult(req.Kind, apierr.Canceled(err))
+	}
 
 	yr := &YieldResult{Chips: chips}
 	var configs, bist, bisd int

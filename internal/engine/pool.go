@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // pool is a bounded worker pool: a fixed set of goroutines draining one
 // job channel. Submission blocks once the buffer fills, giving callers
@@ -26,6 +29,27 @@ func newPool(workers int) *pool {
 
 // submit enqueues a job; it blocks when the queue is full.
 func (p *pool) submit(job func()) { p.jobs <- job }
+
+// submitCtx enqueues a job unless the context is done first; it reports
+// whether the job was accepted. A job accepted here may still observe a
+// canceled context when it runs — executors re-check before doing work.
+func (p *pool) submitCtx(ctx context.Context, job func()) bool {
+	if ctx == nil || ctx.Done() == nil {
+		p.jobs <- job
+		return true
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	default:
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
 
 // close stops accepting jobs and waits for the workers to drain.
 func (p *pool) close() {

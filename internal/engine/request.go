@@ -5,9 +5,9 @@
 package engine
 
 import (
-	"fmt"
 	"strings"
 
+	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/benchfn"
 	"nanoxbar/internal/bexpr"
 	"nanoxbar/internal/bism"
@@ -52,20 +52,27 @@ func (fs FunctionSpec) Resolve() (truthtab.TT, error) {
 		}
 	}
 	if set != 1 {
-		return truthtab.TT{}, fmt.Errorf("engine: function spec must set exactly one of name/expr/tt, got %d", set)
+		return truthtab.TT{}, apierr.BadSpec("engine: function spec must set exactly one of name/expr/tt, got %d", set)
 	}
 	switch {
 	case fs.Name != "":
 		spec, ok := benchfn.ByName(fs.Name)
 		if !ok {
-			return truthtab.TT{}, fmt.Errorf("engine: unknown benchmark function %q", fs.Name)
+			return truthtab.TT{}, apierr.BadSpec("engine: unknown benchmark function %q", fs.Name)
 		}
 		return spec.F, nil
 	case fs.Expr != "":
 		f, _, err := bexpr.ParseTT(fs.Expr)
-		return f, err
+		if err != nil {
+			return truthtab.TT{}, apierr.BadSpec("engine: %v", err)
+		}
+		return f, nil
 	default:
-		return truthtab.Parse(fs.TT)
+		f, err := truthtab.Parse(fs.TT)
+		if err != nil {
+			return truthtab.TT{}, apierr.BadSpec("engine: %v", err)
+		}
+		return f, nil
 	}
 }
 
@@ -83,13 +90,13 @@ type DefectMapSpec struct {
 // ToMap decodes the spec.
 func (s DefectMapSpec) ToMap() (*defect.Map, error) {
 	if len(s.Rows) == 0 || len(s.Rows[0]) == 0 {
-		return nil, fmt.Errorf("engine: empty defect map")
+		return nil, apierr.BadSpec("engine: empty defect map")
 	}
 	r, c := len(s.Rows), len(s.Rows[0])
 	m := defect.NewMap(r, c)
 	for ri, row := range s.Rows {
 		if len(row) != c {
-			return nil, fmt.Errorf("engine: ragged defect map: row %d has %d columns, want %d", ri, len(row), c)
+			return nil, apierr.BadSpec("engine: ragged defect map: row %d has %d columns, want %d", ri, len(row), c)
 		}
 		for ci := 0; ci < c; ci++ {
 			switch row[ci] {
@@ -99,14 +106,14 @@ func (s DefectMapSpec) ToMap() (*defect.Map, error) {
 			case 'c':
 				m.Set(ri, ci, defect.StuckClosed)
 			default:
-				return nil, fmt.Errorf("engine: bad defect char %q at (%d,%d)", row[ci], ri, ci)
+				return nil, apierr.BadSpec("engine: bad defect char %q at (%d,%d)", row[ci], ri, ci)
 			}
 		}
 	}
 	mark := func(dst []bool, idx []int, what string) error {
 		for _, i := range idx {
 			if i < 0 || i >= len(dst) {
-				return fmt.Errorf("engine: %s index %d out of range [0,%d)", what, i, len(dst))
+				return apierr.BadSpec("engine: %s index %d out of range [0,%d)", what, i, len(dst))
 			}
 			dst[i] = true
 		}
@@ -236,22 +243,49 @@ type YieldResult struct {
 }
 
 // Result is the outcome of one Request. Exactly one payload field is
-// set on success; Error carries the failure otherwise.
+// set on success; on failure Err carries the typed error (classified
+// per internal/apierr, compare with errors.Is), while Error and Code
+// are its wire projections for JSON transport.
 type Result struct {
 	Kind      Kind             `json:"kind"`
 	Error     string           `json:"error,omitempty"`
+	Code      string           `json:"code,omitempty"` // apierr wire code, set iff Error is
 	Synthesis *SynthesisResult `json:"synthesis,omitempty"`
 	Compare   *CompareResult   `json:"compare,omitempty"`
 	Map       *MapResult       `json:"map,omitempty"`
 	Yield     *YieldResult     `json:"yield,omitempty"`
+
+	// Err is the typed failure for in-process callers. It does not
+	// travel over the wire; remote callers reconstruct it from Code via
+	// apierr.FromCode.
+	Err error `json:"-"`
 }
 
 // Ok reports whether the request succeeded.
-func (r Result) Ok() bool { return r.Error == "" }
+func (r Result) Ok() bool { return r.Err == nil && r.Error == "" }
 
-// errResult wraps an error into a Result.
+// TypedErr returns the typed failure of the result, reconstructing it
+// from the wire code when the result crossed a process boundary (where
+// Err does not survive JSON). Nil for successful results.
+func (r Result) TypedErr() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Error == "" {
+		return nil
+	}
+	code := r.Code
+	if code == "" {
+		code = apierr.CodeInternal
+	}
+	return apierr.FromCode(code, r.Error)
+}
+
+// errResult wraps an error into a Result, classifying it into the
+// apierr taxonomy.
 func errResult(kind Kind, err error) Result {
-	return Result{Kind: kind, Error: err.Error()}
+	err = apierr.Classify(err)
+	return Result{Kind: kind, Error: err.Error(), Code: apierr.CodeOf(err), Err: err}
 }
 
 // parseScheme resolves the wire scheme name.
@@ -264,5 +298,5 @@ func parseScheme(s string) (bism.Mapper, error) {
 	case "hybrid":
 		return bism.Hybrid{}, nil
 	}
-	return nil, fmt.Errorf("engine: unknown mapping scheme %q (want blind|greedy|hybrid)", s)
+	return nil, apierr.BadSpec("engine: unknown mapping scheme %q (want blind|greedy|hybrid)", s)
 }

@@ -1,0 +1,79 @@
+package httpapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"nanoxbar/internal/engine"
+	"nanoxbar/pkg/nanoxbar"
+	"nanoxbar/pkg/nanoxbar/client"
+)
+
+// The serving-path benchmarks: full client/server round trips through
+// an in-process httptest server — JSON encode, HTTP, NDJSON stream
+// decode — so the overhead of the v2 protocol itself shows up in
+// BENCH_lattice.json next to the raw engine numbers.
+
+func newBenchClient(b *testing.B) *client.Client {
+	b.Helper()
+	eng := engine.New(engine.Config{Workers: 4, CacheSize: 256})
+	b.Cleanup(eng.Close)
+	ts := httptest.NewServer(New(eng))
+	b.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+	b.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// BenchmarkV2RoundTripSynthesizeHit is the hot serving case: the
+// synthesis result is cached server-side, so the measured cost is the
+// protocol round trip.
+func BenchmarkV2RoundTripSynthesizeHit(b *testing.B) {
+	cl := newBenchClient(b)
+	ctx := context.Background()
+	if _, err := cl.Synthesize(ctx, nanoxbar.Func("maj3")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Synthesize(ctx, nanoxbar.Func("maj3")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkV2RoundTripMap is the expected bulk load: one per-chip
+// mapping per request against a cached synthesis.
+func BenchmarkV2RoundTripMap(b *testing.B) {
+	cl := newBenchClient(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := cl.Map(ctx, nanoxbar.Func("maj3"),
+			nanoxbar.WithDensity(0.05), nanoxbar.WithSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkV2YieldStream measures NDJSON die streaming throughput: one
+// 64-die sweep per iteration, every die flushed as its own event.
+func BenchmarkV2YieldStream(b *testing.B) {
+	cl := newBenchClient(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dies := 0
+		_, err := cl.YieldSweep(ctx, nanoxbar.Func("maj3"),
+			nanoxbar.WithChips(64), nanoxbar.WithDensity(0.04), nanoxbar.WithSeed(int64(i)),
+			nanoxbar.OnDie(func(nanoxbar.Die) { dies++ }))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dies != 64 {
+			b.Fatalf("streamed %d dies, want 64", dies)
+		}
+	}
+}

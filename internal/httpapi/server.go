@@ -1,0 +1,212 @@
+// Package httpapi routes the nanoxbar serving engine over HTTP. It
+// hosts both API generations:
+//
+//   - v1 (POST /v1/synthesize, /v1/map, /v1/batch): request/response
+//     JSON, results buffered in submission order. The handlers are
+//     thin adapters over the typed engine layer; errors carry the
+//     machine-readable taxonomy code alongside the legacy message.
+//   - v2 (POST /v2/jobs): one endpoint for every request kind,
+//     responding with an NDJSON event stream flushed as workers
+//     finish (v2.go).
+//
+// The package is importable (unlike cmd/xbarserverd's main) so tests
+// and benchmarks can mount the exact production handler on httptest
+// servers.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"nanoxbar/internal/apierr"
+	"nanoxbar/internal/engine"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is
+// a batch of map requests with explicit defect maps, well under this.
+const maxBodyBytes = 16 << 20
+
+// maxBatchSize bounds one batch submission (v1 batch and v2 jobs).
+// Larger workloads should be split client-side so a single request
+// cannot monopolize the pool.
+const maxBatchSize = 10000
+
+// Server routes the HTTP API onto an engine.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New builds the production handler over eng.
+func New(eng *engine.Engine, opts ...Option) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/synthesize", s.handleSingle(engine.KindSynthesize, engine.KindCompare))
+	s.mux.HandleFunc("/v1/map", s.handleSingle(engine.KindMap, engine.KindYield))
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v2/jobs", s.handleJobs)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default: the profiler exposes internals and
+// costs CPU while sampling, so it is opt-in via the -pprof flag.
+func WithPprof() Option {
+	return func(s *Server) {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// apiError is the v1 error body: the legacy message plus the taxonomy
+// code so v1 clients can migrate to machine-readable handling without
+// switching endpoints.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// decodeBody parses a JSON body into dst with a size bound. The error
+// distinguishes oversized bodies so callers can return 413.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// classifyDecodeError maps a decodeBody failure onto (status, code,
+// message): oversized bodies are 413, everything else a 400. Shared by
+// the v1 and v2 error writers so the two API generations cannot drift
+// in status mapping.
+func classifyDecodeError(err error) (status int, code, msg string) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge, apierr.CodeBadSpec,
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)
+	}
+	return http.StatusBadRequest, apierr.CodeBadSpec, fmt.Sprintf("bad request body: %v", err)
+}
+
+// writeDecodeError renders a decodeBody failure in the v1 body shape.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	status, code, msg := classifyDecodeError(err)
+	writeError(w, status, code, "%s", msg)
+}
+
+// handleSingle serves one-request endpoints. The first kind is the
+// default when the body leaves kind empty; a request naming any other
+// kind than the allowed ones is rejected, keeping each endpoint's
+// latency profile predictable.
+func (s *Server) handleSingle(def engine.Kind, also ...engine.Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, apierr.CodeBadSpec, "use POST")
+			return
+		}
+		var req engine.Request
+		if err := decodeBody(w, r, &req); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+		if req.Kind == "" {
+			req.Kind = def
+		}
+		allowed := req.Kind == def
+		for _, k := range also {
+			allowed = allowed || req.Kind == k
+		}
+		if !allowed {
+			writeError(w, http.StatusBadRequest, apierr.CodeBadSpec, "kind %q not served by %s", req.Kind, r.URL.Path)
+			return
+		}
+		res := s.eng.DoCtx(r.Context(), req)
+		if !res.Ok() {
+			writeJSON(w, http.StatusUnprocessableEntity, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// batchRequest is the /v1/batch body.
+type batchRequest struct {
+	Requests []engine.Request `json:"requests"`
+}
+
+// batchResponse mirrors the submission order.
+type batchResponse struct {
+	Results []engine.Result `json:"results"`
+	Errors  int             `json:"errors"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, apierr.CodeBadSpec, "use POST")
+		return
+	}
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, apierr.CodeBadSpec, "empty batch")
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		writeError(w, http.StatusRequestEntityTooLarge, apierr.CodeBadSpec,
+			"batch of %d exceeds limit %d", len(req.Requests), maxBatchSize)
+		return
+	}
+	// Default empty kinds to per-chip mapping, the expected bulk load.
+	for i := range req.Requests {
+		if req.Requests[i].Kind == "" {
+			req.Requests[i].Kind = engine.KindMap
+		}
+	}
+	results := s.eng.SubmitBatchCtx(r.Context(), req.Requests)
+	resp := batchResponse{Results: results}
+	for _, res := range results {
+		if !res.Ok() {
+			resp.Errors++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -15,7 +15,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	eng := engine.New(engine.Config{Workers: 4, CacheSize: 64})
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(New(eng))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -235,7 +235,7 @@ func TestPprofOptIn(t *testing.T) {
 
 	eng := engine.New(engine.Config{Workers: 2, CacheSize: 8})
 	t.Cleanup(eng.Close)
-	tsp := httptest.NewServer(newServer(eng, withPprof()))
+	tsp := httptest.NewServer(New(eng, WithPprof()))
 	t.Cleanup(tsp.Close)
 	resp, err = http.Get(tsp.URL + "/debug/pprof/")
 	if err != nil {

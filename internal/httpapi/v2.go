@@ -1,0 +1,119 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"nanoxbar/internal/apierr"
+	"nanoxbar/internal/engine"
+	"nanoxbar/pkg/nanoxbar"
+)
+
+// The v2 API: POST /v2/jobs takes a nanoxbar.JobsRequest and responds
+// with an NDJSON event stream (nanoxbar.Event per line). Results are
+// flushed the moment their worker finishes — completion order, not
+// submission order — so a batch of per-chip mappings streams back
+// while slower yield sweeps still run, and with stream_dies a yield
+// request emits one event per die. The request context is threaded
+// into the engine: a dropped connection cancels queued requests and
+// stops in-flight sweeps at the next die boundary.
+
+// v2Error writes a structured non-streaming error body
+// ({"error":{code,message}}) for failures that precede the stream.
+func v2Error(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, nanoxbar.ErrorResponse{Error: nanoxbar.WireError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// eventStream serializes NDJSON events onto one response, flushing
+// after every line so clients observe results as they complete.
+type eventStream struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	fl  http.Flusher
+	err bool // a write failed (client gone); drop further events
+}
+
+func newEventStream(w http.ResponseWriter) *eventStream {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	fl, _ := w.(http.Flusher)
+	return &eventStream{enc: enc, fl: fl}
+}
+
+func (es *eventStream) send(ev nanoxbar.Event) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.err {
+		return
+	}
+	if err := es.enc.Encode(ev); err != nil {
+		es.err = true
+		return
+	}
+	if es.fl != nil {
+		es.fl.Flush()
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		v2Error(w, http.StatusMethodNotAllowed, apierr.CodeBadSpec, "use POST")
+		return
+	}
+	var jobs nanoxbar.JobsRequest
+	if err := decodeBody(w, r, &jobs); err != nil {
+		status, code, msg := classifyDecodeError(err)
+		v2Error(w, status, code, "%s", msg)
+		return
+	}
+	if len(jobs.Requests) == 0 {
+		v2Error(w, http.StatusBadRequest, apierr.CodeBadSpec, "empty jobs request")
+		return
+	}
+	if len(jobs.Requests) > maxBatchSize {
+		v2Error(w, http.StatusRequestEntityTooLarge, apierr.CodeBadSpec,
+			"batch of %d exceeds limit %d", len(jobs.Requests), maxBatchSize)
+		return
+	}
+	for i := range jobs.Requests {
+		if jobs.Requests[i].Kind == "" {
+			jobs.Requests[i].Kind = engine.KindMap
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	es := newEventStream(w)
+
+	var errs int
+	var errMu sync.Mutex
+	var onDie func(req, die int, mr *engine.MapResult, err error)
+	if jobs.StreamDies {
+		onDie = func(req, die int, mr *engine.MapResult, err error) {
+			es.send(nanoxbar.Event{
+				Type: nanoxbar.EventDie, Index: req, Die: die,
+				DieMap: mr, DieError: nanoxbar.WireErrorFrom(err),
+			})
+		}
+	}
+	s.eng.SubmitStream(r.Context(), jobs.Requests, func(i int, res engine.Result) {
+		if err := res.TypedErr(); err != nil {
+			errMu.Lock()
+			errs++
+			errMu.Unlock()
+			es.send(nanoxbar.Event{Type: nanoxbar.EventError, Index: i, Error: nanoxbar.WireErrorFrom(err)})
+			return
+		}
+		es.send(nanoxbar.Event{Type: nanoxbar.EventResult, Index: i, Result: &res})
+	}, onDie)
+
+	es.send(nanoxbar.Event{Type: nanoxbar.EventDone, Done: &nanoxbar.JobsSummary{
+		Results: len(jobs.Requests), Errors: errs,
+	}})
+}

@@ -1,6 +1,8 @@
 package latsynth
 
 import (
+	"context"
+
 	"nanoxbar/internal/lattice"
 	"nanoxbar/internal/truthtab"
 )
@@ -32,6 +34,14 @@ func DefaultOptimalOptions() OptimalOptions {
 // within budget; when true and the lattice is non-nil, the lattice has
 // provably minimum area among shapes up to MaxArea.
 func Optimal(f truthtab.TT, opts OptimalOptions) (*lattice.Lattice, bool) {
+	return OptimalCtx(context.Background(), f, opts)
+}
+
+// OptimalCtx is Optimal with cancellation: the backtracking search
+// checks the context every cancelCheckNodes expanded nodes, so a
+// canceled caller abandons the search promptly (the boolean result is
+// false, as for a budget exhaustion).
+func OptimalCtx(ctx context.Context, f truthtab.TT, opts OptimalOptions) (*lattice.Lattice, bool) {
 	if f.IsZero() {
 		return lattice.Constant(false), true
 	}
@@ -56,11 +66,11 @@ func Optimal(f truthtab.TT, opts OptimalOptions) (*lattice.Lattice, bool) {
 				continue
 			}
 			c := area / r
-			s := &optSearch{f: f, n: n, cands: cands, budget: &budget, ev: ev}
+			s := &optSearch{f: f, n: n, cands: cands, budget: &budget, ev: ev, ctx: ctx}
 			if got := s.run(r, c); got != nil {
 				return got, true
 			}
-			if budget <= 0 {
+			if budget <= 0 || s.canceled {
 				return nil, false
 			}
 		}
@@ -68,14 +78,22 @@ func Optimal(f truthtab.TT, opts OptimalOptions) (*lattice.Lattice, bool) {
 	return nil, true
 }
 
+// cancelCheckNodes is how many dfs nodes run between context checks: a
+// power of two so the check is a mask, frequent enough that a canceled
+// optimal search stops within microseconds.
+const cancelCheckNodes = 4096
+
 type optSearch struct {
-	f      truthtab.TT
-	n      int
-	cands  []lattice.Site
-	budget *int
-	ev     *lattice.Evaluator
-	l      *lattice.Lattice
-	filled int
+	f        truthtab.TT
+	n        int
+	cands    []lattice.Site
+	budget   *int
+	ev       *lattice.Evaluator
+	l        *lattice.Lattice
+	filled   int
+	ctx      context.Context
+	nodes    int
+	canceled bool
 }
 
 func (s *optSearch) run(r, c int) *lattice.Lattice {
@@ -90,10 +108,15 @@ func (s *optSearch) run(r, c int) *lattice.Lattice {
 // dfs fills sites row-major; returns true when a full assignment
 // implements f.
 func (s *optSearch) dfs() bool {
-	if *s.budget <= 0 {
+	if *s.budget <= 0 || s.canceled {
 		return false
 	}
 	*s.budget--
+	s.nodes++
+	if s.nodes&(cancelCheckNodes-1) == 0 && s.ctx.Err() != nil {
+		s.canceled = true
+		return false
+	}
 	if s.filled == s.l.R*s.l.C {
 		return s.ev.Implements(s.l, s.f)
 	}

@@ -1,0 +1,257 @@
+// Package client is the HTTP implementation of the nanoxbar.API
+// interface: a typed Go client for the v2 streaming protocol served by
+// cmd/xbarserverd. It is interchangeable with the in-process
+// nanoxbar.Client — same methods, same typed results, same error
+// taxonomy (errors.Is(err, nanoxbar.ErrInfeasible) holds even though
+// the error crossed an HTTP boundary), and the same per-die streaming:
+// OnDie observers fire as NDJSON events arrive.
+//
+//	cl := client.New("http://localhost:8080")
+//	defer cl.Close()
+//	stats, err := cl.YieldSweep(ctx, nanoxbar.Func("maj5"),
+//	    nanoxbar.WithChips(1000), nanoxbar.WithDensity(0.05),
+//	    nanoxbar.OnDie(func(d nanoxbar.Die) { ... }))
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"nanoxbar/pkg/nanoxbar"
+)
+
+// maxEventBytes bounds one NDJSON line from the server; result events
+// carrying explicit mappings stay far below this.
+const maxEventBytes = 16 << 20
+
+// Client speaks the v2 streaming HTTP API. It is safe for concurrent
+// use; requests share the underlying http.Client's connection pool.
+type Client struct {
+	base string
+	hc   *http.Client
+	// ownsTransport marks the default transport built by New: Close
+	// may tear down its pool. A caller-supplied http.Client is never
+	// closed — the caller owns its connection pool.
+	ownsTransport bool
+}
+
+var _ nanoxbar.API = (*Client)(nil)
+
+// Option configures the client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, TLS, test
+// doubles). The caller keeps ownership: Close will not drop the
+// supplied client's idle connections.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		c.hc = hc
+		c.ownsTransport = false
+	}
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). By default it gets its own clone of the
+// standard transport, so Close cannot disturb connections pooled by
+// unrelated users of http.DefaultClient.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/")}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		c.hc = &http.Client{Transport: t.Clone()}
+		c.ownsTransport = true
+	} else {
+		c.hc = http.DefaultClient
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Close releases the client's own idle connections (a no-op for a
+// caller-supplied http.Client). The client is unusable afterwards only
+// by convention — it exists to satisfy nanoxbar.API.
+func (c *Client) Close() error {
+	if c.ownsTransport {
+		c.hc.CloseIdleConnections()
+	}
+	return nil
+}
+
+// Synthesize implements f on the requested technology via the remote
+// engine's shared synthesis cache.
+func (c *Client) Synthesize(ctx context.Context, f nanoxbar.FunctionSpec, opts ...nanoxbar.Option) (*nanoxbar.Synthesis, error) {
+	res, err := c.do(ctx, nanoxbar.KindSynthesize, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Synthesis, nil
+}
+
+// Compare synthesizes f on all three technologies.
+func (c *Client) Compare(ctx context.Context, f nanoxbar.FunctionSpec, opts ...nanoxbar.Option) (*nanoxbar.Comparison, error) {
+	res, err := c.do(ctx, nanoxbar.KindCompare, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Compare, nil
+}
+
+// Map places the synthesized implementation on one defective chip.
+func (c *Client) Map(ctx context.Context, f nanoxbar.FunctionSpec, opts ...nanoxbar.Option) (*nanoxbar.MapOutcome, error) {
+	res, err := c.do(ctx, nanoxbar.KindMap, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Map, nil
+}
+
+// YieldSweep maps f onto many random dies, streaming per-die outcomes
+// to the OnDie observer as NDJSON events arrive.
+func (c *Client) YieldSweep(ctx context.Context, f nanoxbar.FunctionSpec, opts ...nanoxbar.Option) (*nanoxbar.YieldStats, error) {
+	res, err := c.do(ctx, nanoxbar.KindYield, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Yield, nil
+}
+
+// Stats fetches the server's engine counter snapshot (GET /stats).
+func (c *Client) Stats(ctx context.Context) (nanoxbar.Stats, error) {
+	var st nanoxbar.Stats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
+	if err != nil {
+		return st, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return st, c.transportErr(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: /stats status %d", resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
+	}
+	return st, nil
+}
+
+// do runs one request through POST /v2/jobs and resolves its single
+// result from the event stream.
+func (c *Client) do(ctx context.Context, kind nanoxbar.Kind, f nanoxbar.FunctionSpec, opts []nanoxbar.Option) (nanoxbar.Result, error) {
+	req, onDie := nanoxbar.BuildRequest(kind, f, opts...)
+	var res nanoxbar.Result
+	var resErr error
+	resolved := false
+	err := c.Jobs(ctx, nanoxbar.JobsRequest{
+		Requests:   []nanoxbar.Request{req},
+		StreamDies: onDie != nil,
+	}, func(ev nanoxbar.Event) {
+		switch ev.Type {
+		case nanoxbar.EventDie:
+			if onDie != nil {
+				onDie(nanoxbar.Die{Index: ev.Die, Map: ev.DieMap, Err: ev.DieError.Err()})
+			}
+		case nanoxbar.EventResult:
+			if ev.Result != nil {
+				res = *ev.Result
+				resolved = true
+			}
+		case nanoxbar.EventError:
+			resErr = ev.Error.Err()
+			resolved = true
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	if resErr != nil {
+		return res, resErr
+	}
+	if !resolved {
+		// A protocol violation (done with no result/error event for the
+		// request) must not surface as a nil-payload success.
+		return res, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, "client: stream completed without a result for the request")
+	}
+	return res, res.TypedErr()
+}
+
+// Jobs submits a batch to POST /v2/jobs, invoking handle for every
+// stream event in arrival order (completion order server-side). It
+// returns when the terminating "done" event has been consumed, the
+// context is canceled, or the stream fails. Request-level failures are
+// delivered as EventError events, not as a Jobs error.
+func (c *Client) Jobs(ctx context.Context, jobs nanoxbar.JobsRequest, handle func(nanoxbar.Event)) error {
+	payload, err := json.Marshal(jobs)
+	if err != nil {
+		return nanoxbar.ErrorFromCode(nanoxbar.CodeBadSpec, err.Error())
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return c.transportErr(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErrorBody(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxEventBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev nanoxbar.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// A canceled read surfaces as a truncated final line —
+			// the scanner hands back the partial data at stream end.
+			if cerr := ctx.Err(); cerr != nil {
+				return nanoxbar.ErrorFromCode(nanoxbar.CodeCanceled, fmt.Sprintf("client: %v", cerr))
+			}
+			return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: bad stream line: %v", err))
+		}
+		if ev.Type == nanoxbar.EventDone {
+			return nil
+		}
+		handle(ev)
+	}
+	// The stream ended without a done event: canceled mid-flight or
+	// the server died.
+	if err := ctx.Err(); err != nil {
+		return nanoxbar.ErrorFromCode(nanoxbar.CodeCanceled, fmt.Sprintf("client: %v", err))
+	}
+	if err := sc.Err(); err != nil {
+		return c.transportErr(ctx, err)
+	}
+	return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, "client: stream ended without done event")
+}
+
+// transportErr classifies a transport failure: cancellation keeps its
+// taxonomy identity, everything else is internal.
+func (c *Client) transportErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return nanoxbar.ErrorFromCode(nanoxbar.CodeCanceled, fmt.Sprintf("client: %v", err))
+	}
+	return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: %v", err))
+}
+
+// decodeErrorBody turns a non-200 v2 response into its typed error.
+func decodeErrorBody(resp *http.Response) error {
+	var body nanoxbar.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error.Code == "" {
+		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: server status %d", resp.StatusCode))
+	}
+	return body.Error.Err()
+}

@@ -1,0 +1,91 @@
+package nanoxbar
+
+import "nanoxbar/internal/apierr"
+
+// The v2 HTTP wire protocol. One endpoint carries every request kind:
+//
+//	POST /v2/jobs
+//	{"requests": [...], "stream_dies": true}
+//
+// The response is NDJSON (application/x-ndjson, chunked): one Event
+// per line, flushed as workers finish — completion order, not
+// submission order; Index ties an event back to its request. A stream
+// always ends with a single "done" event. Request-body failures (bad
+// JSON, empty batch, oversized body) are plain JSON ErrorResponse
+// bodies with a 4xx status instead of a stream.
+//
+// pkg/nanoxbar/client speaks this protocol; the types are exported so
+// other consumers can too.
+
+// JobsRequest is the POST /v2/jobs body.
+type JobsRequest struct {
+	Requests []Request `json:"requests"`
+	// StreamDies additionally emits one "die" event per die of every
+	// yield request, as dies complete.
+	StreamDies bool `json:"stream_dies,omitempty"`
+}
+
+// Event types of the v2 NDJSON stream.
+const (
+	// EventResult carries the completed Result of request Index.
+	EventResult = "result"
+	// EventError reports the typed failure of request Index.
+	EventError = "error"
+	// EventDie streams one die of a yield request (StreamDies only).
+	EventDie = "die"
+	// EventDone terminates the stream with aggregate counts.
+	EventDone = "done"
+)
+
+// Event is one NDJSON line of a /v2/jobs response.
+type Event struct {
+	Type  string `json:"type"`
+	Index int    `json:"index,omitempty"` // request index, for result/error/die
+	// Die fields (Type == EventDie). DieMap is nil when the die itself
+	// failed; DieError carries that failure.
+	Die      int         `json:"die,omitempty"`
+	DieMap   *MapOutcome `json:"die_map,omitempty"`
+	DieError *WireError  `json:"die_error,omitempty"`
+	// Result (Type == EventResult).
+	Result *Result `json:"result,omitempty"`
+	// Error (Type == EventError).
+	Error *WireError `json:"error,omitempty"`
+	// Done (Type == EventDone).
+	Done *JobsSummary `json:"done,omitempty"`
+}
+
+// WireError is the structured error of the v2 API: a machine-readable
+// code from the taxonomy plus human-readable detail.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Err reconstructs the typed error: errors.Is against the taxonomy
+// sentinels holds on the result.
+func (e *WireError) Err() error {
+	if e == nil {
+		return nil
+	}
+	return apierr.FromCode(e.Code, e.Message)
+}
+
+// WireErrorFrom projects a typed error into wire form (nil for nil).
+func WireErrorFrom(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	return &WireError{Code: apierr.CodeOf(err), Message: err.Error()}
+}
+
+// ErrorResponse is the non-streaming v2 error body:
+// {"error":{"code":"bad_spec","message":"..."}}.
+type ErrorResponse struct {
+	Error WireError `json:"error"`
+}
+
+// JobsSummary is the payload of the final "done" event.
+type JobsSummary struct {
+	Results int `json:"results"` // total requests resolved
+	Errors  int `json:"errors"`  // how many failed
+}
