@@ -1,27 +1,42 @@
-// Command benchjson runs the repository's performance benchmark suites
-// (lattice evaluation, lattice synthesis, QM minimization, serving
-// engine) and emits a machine-readable JSON report, so the perf
-// trajectory of the hot paths is tracked in-tree from PR to PR.
+// Command benchjson tracks the repository's performance trajectory. It
+// has two modes:
 //
-// Usage:
+// Emit (default): run the hot-path benchmark suites (lattice
+// evaluation, lattice synthesis, QM minimization, serving engine, HTTP
+// round trip) and write a machine-readable JSON report
+// (internal/benchreport schema):
 //
 //	benchjson [-out BENCH_lattice.json] [-bench regex] [-benchtime 0.5s] [-pkgs p1,p2,...]
 //
-// CI runs it with -benchtime 1x as a smoke check; release numbers are
-// regenerated with the default benchtime and committed as
-// BENCH_lattice.json.
+// Compare: diff a fresh report against a committed baseline and fail on
+// hot-path regressions — the CI perf-regression gate:
+//
+//	benchjson -compare BENCH_lattice.json -against bench_ci.json \
+//	          [-tolerance 0.25] [-allow 'regex over pkg.BenchmarkName']
+//
+// A benchmark regresses when its ns/op exceeds baseline×(1+tolerance);
+// benchmarks matching -allow (noisy suites) are reported but never fail
+// the gate, and baseline benchmarks missing from the new report fail it
+// unless allow-listed. Exit status 1 on a failed gate.
+//
+// CI emits with -benchtime 20ms (steady-state but fast; single-
+// iteration -benchtime 1x timings are warmup-dominated and useless for
+// a ns/op gate) and gates with a loose tolerance that absorbs
+// cross-machine noise; release numbers are regenerated with the
+// default benchtime and committed as BENCH_lattice.json.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
+
+	"nanoxbar/internal/benchreport"
 )
 
 // defaultPkgs are the suites covering the synthesis/serving hot paths,
@@ -30,39 +45,60 @@ import (
 // engine numbers.
 const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine,./internal/httpapi"
 
-// Benchmark is one parsed benchmark line.
-type Benchmark struct {
-	Pkg        string  `json:"pkg"`
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	// BytesPerOp/AllocsPerOp are present when the suite ran -benchmem
-	// (always, here) and the bench reports allocations.
-	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
-}
-
-// Report is the emitted JSON document.
-type Report struct {
-	GeneratedAt string      `json:"generated_at"`
-	GoVersion   string      `json:"go_version"`
-	GOOS        string      `json:"goos"`
-	GOARCH      string      `json:"goarch"`
-	CPU         string      `json:"cpu,omitempty"`
-	Benchtime   string      `json:"benchtime"`
-	Benchmarks  []Benchmark `json:"benchmarks"`
-}
-
 func main() {
 	out := flag.String("out", "BENCH_lattice.json", "output JSON path (- for stdout)")
 	benchRe := flag.String("bench", ".", "benchmark name regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "0.5s", "go test -benchtime value")
 	pkgs := flag.String("pkgs", defaultPkgs, "comma-separated packages to benchmark")
+	compare := flag.String("compare", "", "baseline report path; switches to compare mode")
+	against := flag.String("against", "", "new report path to gate against the baseline (compare mode)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed ns/op growth fraction before a regression fails the gate")
+	allow := flag.String("allow", "", "regex over pkg.BenchmarkName; matches never fail the gate")
 	flag.Parse()
 
-	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime}
-	args = append(args, strings.Split(*pkgs, ",")...)
+	if *compare != "" {
+		os.Exit(runCompare(os.Stdout, *compare, *against, *tolerance, *allow))
+	}
+	runEmit(*out, *benchRe, *benchtime, *pkgs)
+}
+
+// runCompare executes the perf-regression gate and returns the process
+// exit code.
+func runCompare(w *os.File, oldPath, newPath string, tolerance float64, allowPat string) int {
+	if newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare requires -against new.json")
+		return 2
+	}
+	var allowRe *regexp.Regexp
+	if allowPat != "" {
+		var err error
+		if allowRe, err = regexp.Compile(allowPat); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -allow regex:", err)
+			return 2
+		}
+	}
+	old, err := benchreport.Load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := benchreport.Load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	cmp := benchreport.Compare(old, new, tolerance, allowRe)
+	fmt.Fprintf(w, "benchjson: %s (baseline) vs %s\n%s", oldPath, newPath, cmp.Format())
+	if !cmp.OK() {
+		return 1
+	}
+	return 0
+}
+
+// runEmit runs the benchmark suites and writes the report.
+func runEmit(out, benchRe, benchtime, pkgs string) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem", "-benchtime", benchtime}
+	args = append(args, strings.Split(pkgs, ",")...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -71,92 +107,30 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		Benchtime:   *benchtime,
-	}
-	parseBenchOutput(string(raw), &rep)
+	rep := buildReport(string(raw), benchtime)
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines in go test output:\n%s", raw)
 		os.Exit(1)
 	}
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
+	if err := benchreport.WriteFile(out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
+	if out != "-" {
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
 }
 
-// parseBenchOutput scans standard `go test -bench` text: "pkg:" and
-// "cpu:" header lines, then one line per benchmark of the form
-//
-//	BenchmarkName-8   1203   9876 ns/op   120 B/op   3 allocs/op   42.0 custom/metric
-//
-// with an iteration count followed by (value, unit) pairs.
-func parseBenchOutput(raw string, rep *Report) {
-	pkg := ""
-	for _, line := range strings.Split(raw, "\n") {
-		line = strings.TrimSpace(line)
-		switch {
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-			continue
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-			continue
-		case !strings.HasPrefix(line, "Benchmark"):
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i] // strip the -GOMAXPROCS suffix
-			}
-		}
-		iters, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		b := Benchmark{Pkg: pkg, Name: name, Iterations: iters}
-		for i := 2; i+1 < len(fields); i += 2 {
-			val, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				b.NsPerOp = val
-			case "B/op":
-				v := int64(val)
-				b.BytesPerOp = &v
-			case "allocs/op":
-				v := int64(val)
-				b.AllocsPerOp = &v
-			default:
-				if b.Metrics == nil {
-					b.Metrics = make(map[string]float64)
-				}
-				b.Metrics[unit] = val
-			}
-		}
-		rep.Benchmarks = append(rep.Benchmarks, b)
+// buildReport wraps the parsed `go test -bench` output in a stamped
+// report.
+func buildReport(raw, benchtime string) benchreport.Report {
+	rep := benchreport.Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchtime:   benchtime,
 	}
+	benchreport.ParseGoBench(raw, &rep)
+	return rep
 }

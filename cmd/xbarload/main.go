@@ -1,0 +1,463 @@
+// Command xbarload is the load-generation and soak driver for the
+// nanoxbar serving stack. It replays a configurable scenario mix —
+// cached synthesis lookups, per-chip mapping, streaming yield sweeps,
+// and mid-stream cancellations — through the public HTTP client
+// (pkg/nanoxbar/client) against either a running xbarserverd or an
+// in-process server it starts itself, with function popularity drawn
+// from a zipf distribution so the cache sees a realistic hot set.
+//
+// It emits latency percentiles per scenario plus the server's cache
+// hit-rate delta as a JSON report in the internal/benchreport schema,
+// so the same tooling that reads BENCH_lattice.json (cmd/benchjson
+// -compare) reads soak results.
+//
+// Usage:
+//
+//	xbarload [-addr http://host:8080] [-duration 30s] [-concurrency 8]
+//	         [-seed 1] [-mix synthesize=3,map=5,yield=1,cancel=1]
+//	         [-funcs 48] [-zipf-s 1.3] [-chips 12] [-density 0.04]
+//	         [-max-attempts 50] [-out -]
+//
+// With no -addr it boots a private in-process server (sized by -workers
+// and -cache) on a loopback port, which is what the CI soak smoke uses:
+//
+//	go run -race ./cmd/xbarload -duration 5s -seed 1 -out soak.json
+//
+// Exit status 1 when any request fails unexpectedly (cancellations the
+// driver itself issued are expected; unsuccessful-but-valid mapping
+// outcomes are results, not failures).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"nanoxbar/internal/benchreport"
+	"nanoxbar/internal/engine"
+	"nanoxbar/internal/httpapi"
+	"nanoxbar/pkg/nanoxbar"
+	nbclient "nanoxbar/pkg/nanoxbar/client"
+)
+
+// scenario names, in report order.
+const (
+	scSynthesize = "synthesize"
+	scMap        = "map"
+	scYield      = "yield"
+	scCancel     = "cancel" // yield sweep canceled mid-stream
+)
+
+var scenarioOrder = []string{scSynthesize, scMap, scYield, scCancel}
+
+func main() {
+	addr := flag.String("addr", "", "server base URL; empty starts an in-process server")
+	duration := flag.Duration("duration", 30*time.Second, "soak duration")
+	concurrency := flag.Int("concurrency", 8, "concurrent client streams")
+	seed := flag.Int64("seed", 1, "root seed for scenario and function draws")
+	mixSpec := flag.String("mix", "synthesize=3,map=5,yield=1,cancel=1", "scenario weights")
+	funcs := flag.Int("funcs", 48, "distinct functions in the popularity pool")
+	zipfS := flag.Float64("zipf-s", 1.3, "zipf exponent for function popularity (<=1 = uniform)")
+	chips := flag.Int("chips", 12, "dies per yield sweep")
+	density := flag.Float64("density", 0.04, "crosspoint defect density")
+	maxAttempts := flag.Int("max-attempts", 50, "self-mapping attempt budget per chip")
+	out := flag.String("out", "-", "report path (- for stdout)")
+	workers := flag.Int("workers", 0, "in-process server worker pool size (0 = NumCPU)")
+	cacheSize := flag.Int("cache", 1024, "in-process server cache entries")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbarload:", err)
+		os.Exit(2)
+	}
+	if *funcs < 1 {
+		fmt.Fprintln(os.Stderr, "xbarload: -funcs must be >= 1")
+		os.Exit(2)
+	}
+	if *concurrency < 1 || *chips < 1 {
+		fmt.Fprintln(os.Stderr, "xbarload: -concurrency and -chips must be >= 1")
+		os.Exit(2)
+	}
+
+	base := *addr
+	if base == "" {
+		srv, err := startInProcessServer(*workers, *cacheSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbarload:", err)
+			os.Exit(1)
+		}
+		defer srv.close()
+		base = srv.url
+		fmt.Fprintf(os.Stderr, "xbarload: in-process server at %s\n", base)
+	}
+
+	cl := nbclient.New(base)
+	defer cl.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := soak(ctx, cl, soakConfig{
+		duration:    *duration,
+		concurrency: *concurrency,
+		seed:        *seed,
+		mix:         mix,
+		funcs:       *funcs,
+		zipfS:       *zipfS,
+		chips:       *chips,
+		density:     *density,
+		maxAttempts: *maxAttempts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbarload:", err)
+		os.Exit(1)
+	}
+
+	rep := res.report(*duration)
+	if err := benchreport.WriteFile(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "xbarload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "xbarload: %d ops (%d failed, %d cancel-scenario), cache hit rate %.3f\n",
+		res.totalOps(), res.failures(), res.counts[scCancel], res.hitRate)
+	if res.failures() > 0 {
+		os.Exit(1)
+	}
+}
+
+// inprocServer is the self-hosted serving stack for -addr "".
+type inprocServer struct {
+	eng *engine.Engine
+	srv *http.Server
+	url string
+}
+
+func startInProcessServer(workers, cacheSize int) (*inprocServer, error) {
+	eng := engine.New(engine.Config{Workers: workers, CacheSize: cacheSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: httpapi.New(eng)}
+	go srv.Serve(ln)
+	return &inprocServer{eng: eng, srv: srv, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (s *inprocServer) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.srv.Shutdown(ctx)
+	s.eng.Close()
+}
+
+// parseMix reads "name=weight,..." into per-scenario weights.
+func parseMix(spec string) (map[string]int, error) {
+	mix := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix element %q (want name=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		known := false
+		for _, s := range scenarioOrder {
+			known = known || name == s
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown scenario %q (want %s)", name, strings.Join(scenarioOrder, "|"))
+		}
+		mix[name] = w
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return mix, nil
+}
+
+// functionPool builds the popularity-ranked function set: a core of
+// named benchmark functions, padded with seeded random 3- and 4-input
+// truth tables. Index 0 is the most popular under zipf.
+func functionPool(n int, rng *rand.Rand) []nanoxbar.FunctionSpec {
+	named := []string{"xnor2", "maj3", "fig4", "xor4", "mux2", "cmp2", "add2_s0", "rd5_s1"}
+	pool := make([]nanoxbar.FunctionSpec, 0, n)
+	for _, name := range named {
+		if len(pool) == n {
+			break
+		}
+		pool = append(pool, nanoxbar.Func(name))
+	}
+	for len(pool) < n {
+		if len(pool)%2 == 0 {
+			pool = append(pool, nanoxbar.TT(fmt.Sprintf("3:0x%02x", rng.Intn(0x100))))
+		} else {
+			pool = append(pool, nanoxbar.TT(fmt.Sprintf("4:0x%04x", rng.Intn(0x10000))))
+		}
+	}
+	return pool
+}
+
+type soakConfig struct {
+	duration    time.Duration
+	concurrency int
+	seed        int64
+	mix         map[string]int
+	funcs       int
+	zipfS       float64
+	chips       int
+	density     float64
+	maxAttempts int
+}
+
+// soakResult aggregates per-scenario latencies and outcome counters.
+type soakResult struct {
+	mu        sync.Mutex
+	latencies map[string][]time.Duration
+	counts    map[string]int // completed ops per scenario
+	failed    map[string]int // unexpected errors per scenario
+
+	statsBefore, statsAfter nanoxbar.Stats
+	hitRate                 float64
+}
+
+func (r *soakResult) record(scenario string, d time.Duration, failed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.latencies[scenario] = append(r.latencies[scenario], d)
+	r.counts[scenario]++
+	if failed {
+		r.failed[scenario]++
+	}
+}
+
+func (r *soakResult) totalOps() int {
+	n := 0
+	for _, c := range r.counts {
+		n += c
+	}
+	return n
+}
+
+func (r *soakResult) failures() int {
+	n := 0
+	for _, c := range r.failed {
+		n += c
+	}
+	return n
+}
+
+// soak runs the workload until the duration elapses or ctx is canceled.
+func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult, error) {
+	res := &soakResult{
+		latencies: make(map[string][]time.Duration),
+		counts:    make(map[string]int),
+		failed:    make(map[string]int),
+	}
+	var err error
+	if res.statsBefore, err = cl.Stats(ctx); err != nil {
+		return nil, fmt.Errorf("server not reachable: %w", err)
+	}
+
+	pool := functionPool(cfg.funcs, rand.New(rand.NewSource(cfg.seed)))
+	// Scenario schedule: expand the weighted mix into a deck each worker
+	// walks at a seeded random offset.
+	var deck []string
+	for _, s := range scenarioOrder {
+		for i := 0; i < cfg.mix[s]; i++ {
+			deck = append(deck, s)
+		}
+	}
+
+	deadline, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// splitmix64-style increment keeps worker streams decorrelated.
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*-0x61c8864680b583eb))
+			var zipf *rand.Zipf
+			if cfg.zipfS > 1 {
+				zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(len(pool)-1))
+			}
+			for op := 0; ; op++ {
+				if deadline.Err() != nil {
+					return
+				}
+				fi := 0
+				if zipf != nil {
+					fi = int(zipf.Uint64())
+				} else {
+					fi = rng.Intn(len(pool))
+				}
+				scenario := deck[rng.Intn(len(deck))]
+				start := time.Now()
+				opErr := runOp(deadline, cl, cfg, scenario, pool[fi], rng.Int63())
+				elapsed := time.Since(start)
+				if deadline.Err() != nil && errors.Is(opErr, nanoxbar.ErrCanceled) {
+					// The soak window closed mid-call; not a data point.
+					return
+				}
+				res.record(scenario, elapsed, opErr != nil)
+				if opErr != nil {
+					fmt.Fprintf(os.Stderr, "xbarload: worker %d op %d (%s): %v\n", w, op, scenario, opErr)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The soak context is spent; read closing stats on a fresh one.
+	statsCtx, cancelStats := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelStats()
+	if res.statsAfter, err = cl.Stats(statsCtx); err != nil {
+		return nil, fmt.Errorf("closing stats: %w", err)
+	}
+	dh := res.statsAfter.CacheHits - res.statsBefore.CacheHits
+	dm := res.statsAfter.CacheMisses - res.statsBefore.CacheMisses
+	if dh+dm > 0 {
+		res.hitRate = float64(dh) / float64(dh+dm)
+	}
+	return res, nil
+}
+
+// runOp executes one scenario call. The returned error is nil for
+// expected outcomes, including the cancel scenario's own cancellation.
+func runOp(ctx context.Context, cl *nbclient.Client, cfg soakConfig, scenario string, f nanoxbar.FunctionSpec, seed int64) error {
+	switch scenario {
+	case scSynthesize:
+		_, err := cl.Synthesize(ctx, f)
+		return err
+	case scMap:
+		out, err := cl.Map(ctx, f,
+			nanoxbar.WithSeed(seed),
+			nanoxbar.WithDensity(cfg.density),
+			nanoxbar.WithMaxAttempts(cfg.maxAttempts))
+		if err != nil {
+			return err
+		}
+		_ = out.Success // an unrecoverable die is a result, not a failure
+		return nil
+	case scYield:
+		_, err := cl.YieldSweep(ctx, f,
+			nanoxbar.WithSeed(seed),
+			nanoxbar.WithDensity(cfg.density),
+			nanoxbar.WithChips(cfg.chips),
+			nanoxbar.WithMaxAttempts(cfg.maxAttempts))
+		return err
+	case scCancel:
+		// Stream a sweep and hang up partway through: the concurrent-
+		// streams-with-cancel path the v2 protocol must survive.
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stopAfter := cfg.chips / 2
+		if stopAfter < 1 {
+			stopAfter = 1
+		}
+		seen := 0
+		_, err := cl.YieldSweep(cctx, f,
+			nanoxbar.WithSeed(seed),
+			nanoxbar.WithDensity(cfg.density),
+			nanoxbar.WithChips(2*cfg.chips),
+			nanoxbar.WithMaxAttempts(cfg.maxAttempts),
+			nanoxbar.OnDie(func(nanoxbar.Die) {
+				if seen++; seen >= stopAfter {
+					cancel()
+				}
+			}))
+		if err == nil || errors.Is(err, nanoxbar.ErrCanceled) {
+			return nil // finished fast or canceled as intended
+		}
+		return err
+	}
+	return fmt.Errorf("unknown scenario %q", scenario)
+}
+
+// percentile returns the p-th percentile (0..1) of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// report shapes the soak outcome as a benchreport document: one
+// benchmark per scenario (mean ns/op, percentile metrics), plus a
+// pseudo-benchmark carrying the cache hit-rate delta.
+func (r *soakResult) report(duration time.Duration) benchreport.Report {
+	rep := benchreport.Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchtime:   duration.String(),
+	}
+	for _, s := range scenarioOrder {
+		lats := r.latencies[s]
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchreport.Benchmark{
+			Pkg:        "nanoxbar/cmd/xbarload",
+			Name:       "Soak/" + s,
+			Iterations: int64(len(lats)),
+			NsPerOp:    float64(sum.Nanoseconds()) / float64(len(lats)),
+			Metrics: map[string]float64{
+				"p50-ns":  float64(percentile(lats, 0.50).Nanoseconds()),
+				"p90-ns":  float64(percentile(lats, 0.90).Nanoseconds()),
+				"p99-ns":  float64(percentile(lats, 0.99).Nanoseconds()),
+				"max-ns":  float64(lats[len(lats)-1].Nanoseconds()),
+				"errors":  float64(r.failed[s]),
+				"ops/sec": float64(len(lats)) / duration.Seconds(),
+			},
+		})
+	}
+	rep.Benchmarks = append(rep.Benchmarks, benchreport.Benchmark{
+		Pkg:        "nanoxbar/cmd/xbarload",
+		Name:       "Soak/cache",
+		Iterations: 1,
+		Metrics: map[string]float64{
+			"hit-rate":    r.hitRate,
+			"hits":        float64(r.statsAfter.CacheHits - r.statsBefore.CacheHits),
+			"misses":      float64(r.statsAfter.CacheMisses - r.statsBefore.CacheMisses),
+			"entries":     float64(r.statsAfter.CacheEntries),
+			"shards":      float64(r.statsAfter.CacheShards),
+			"loaded":      float64(r.statsAfter.CacheLoaded),
+			"synth-calls": float64(r.statsAfter.SynthCalls - r.statsBefore.SynthCalls),
+		},
+	})
+	return rep
+}

@@ -1,9 +1,16 @@
 // Command xbarserverd serves the nanoxbar synthesis and per-chip
-// mapping pipeline over HTTP. Synthesis results are cached and shared
-// across requests (one core.Synthesize per distinct function ×
-// technology × options); per-chip mapping jobs fan out across a bounded
-// worker pool. The handler lives in internal/httpapi; this command is
-// flag parsing and lifecycle.
+// mapping pipeline over HTTP. Synthesis results are cached in a sharded
+// LRU shared across requests (one core.Synthesize per distinct function
+// × technology × options); per-chip mapping jobs fan out across a
+// bounded worker pool. The handler lives in internal/httpapi; this
+// command is flag parsing and lifecycle.
+//
+// The cache can persist across restarts: -cache-save checkpoints it to
+// disk on shutdown (and every -cache-save-interval while running), and
+// -cache-load seeds it at boot, so a restarted server answers
+// previously-synthesized functions with pure cache hits. Snapshots are
+// fingerprint-keyed; one written by a binary with different synthesis
+// behavior is refused and the server starts cold.
 //
 // Endpoints:
 //
@@ -12,12 +19,14 @@
 //	POST /v1/synthesize  one synthesize or compare request
 //	POST /v1/map         one per-chip map or yield-sweep request
 //	POST /v1/batch       {"requests": [...]} — fan-out, results in order
-//	GET  /healthz        liveness probe
+//	GET  /healthz        liveness probe + cache summary
 //	GET  /stats          engine counters (cache hits/misses, workers, ...)
 //
 // Usage:
 //
-//	xbarserverd [-addr :8080] [-workers N] [-cache 1024] [-pprof]
+//	xbarserverd [-addr :8080] [-workers N] [-cache 1024] [-cache-shards N]
+//	            [-cache-load path] [-cache-save path] [-cache-save-interval 5m]
+//	            [-pprof]
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,12 +49,27 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
-	cacheSize := flag.Int("cache", 1024, "synthesis cache entries")
+	cacheSize := flag.Int("cache", 1024, "synthesis cache entries (total across shards)")
+	cacheShards := flag.Int("cache-shards", 0, "cache shard count (0 = 4×workers, power of two)")
+	cacheLoad := flag.String("cache-load", "", "seed the cache from this snapshot at boot")
+	cacheSave := flag.String("cache-save", "", "checkpoint the cache to this path on shutdown")
+	saveInterval := flag.Duration("cache-save-interval", 0, "also checkpoint every interval (0 = only on shutdown)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	eng := engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize})
+	eng := engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize, CacheShards: *cacheShards})
 	defer eng.Close()
+
+	if *cacheLoad != "" {
+		n, err := eng.LoadCacheSnapshot(*cacheLoad)
+		if err != nil {
+			// A bad or stale snapshot is not fatal: serve cold rather
+			// than refuse traffic.
+			fmt.Fprintln(os.Stderr, "xbarserverd: cache-load:", err, "(starting cold)")
+		} else {
+			fmt.Printf("xbarserverd: cache warmed with %d entries from %s\n", n, *cacheLoad)
+		}
+	}
 
 	var sopts []httpapi.Option
 	if *pprofOn {
@@ -63,10 +88,47 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// checkpointMu serializes snapshot saves: without it an in-flight
+	// interval checkpoint could finish after the shutdown checkpoint and
+	// rename a stale snapshot over the final post-drain one.
+	var checkpointMu sync.Mutex
+	checkpoint := func(reason string) {
+		if *cacheSave == "" {
+			return
+		}
+		checkpointMu.Lock()
+		defer checkpointMu.Unlock()
+		n, err := eng.SaveCacheSnapshot(*cacheSave)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbarserverd: cache-save:", err)
+			return
+		}
+		fmt.Printf("xbarserverd: checkpointed %d cache entries to %s (%s)\n", n, *cacheSave, reason)
+	}
+	tickerDone := make(chan struct{})
+	close(tickerDone)
+	if *cacheSave != "" && *saveInterval > 0 {
+		tickerDone = make(chan struct{})
+		go func() {
+			defer close(tickerDone)
+			t := time.NewTicker(*saveInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					checkpoint("interval")
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("xbarserverd listening on %s (workers=%d cache=%d fingerprint=%q)\n",
-		*addr, eng.Stats().Workers, *cacheSize, core.Fingerprint())
+	st := eng.Stats()
+	fmt.Printf("xbarserverd listening on %s (workers=%d cache=%d shards=%d fingerprint=%q)\n",
+		*addr, st.Workers, *cacheSize, st.CacheShards, core.Fingerprint())
 
 	select {
 	case err := <-errc:
@@ -79,4 +141,9 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "xbarserverd: shutdown:", err)
 	}
+	// Final checkpoint after the listener has drained (and the interval
+	// ticker has stopped): every completed request's synthesis is in the
+	// snapshot, and no stale interval save can land after it.
+	<-tickerDone
+	checkpoint("shutdown")
 }

@@ -1,0 +1,109 @@
+package benchreport
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Delta is one benchmark present in both reports.
+type Delta struct {
+	ID      string  `json:"id"`
+	OldNs   float64 `json:"old_ns_per_op"`
+	NewNs   float64 `json:"new_ns_per_op"`
+	Ratio   float64 `json:"ratio"` // new / old; > 1 is slower
+	Allowed bool    `json:"allowed,omitempty"`
+}
+
+// Comparison is the outcome of diffing a new report against a baseline.
+type Comparison struct {
+	Tolerance float64 `json:"tolerance"`
+	Compared  int     `json:"compared"`
+	// Regressions exceed the tolerance and are not allow-listed — each
+	// one fails the gate.
+	Regressions []Delta `json:"regressions,omitempty"`
+	// Allowed exceed the tolerance but match the allow-list (noisy
+	// suites); reported, not failing.
+	Allowed []Delta `json:"allowed,omitempty"`
+	// Missing are baseline benchmarks absent from the new report — a
+	// deleted or renamed benchmark silently escapes the gate, so the
+	// gate fails on them too unless allow-listed.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// OK reports whether the gate passes.
+func (c Comparison) OK() bool { return len(c.Regressions) == 0 && len(c.Missing) == 0 }
+
+// Compare diffs `new` against the `old` baseline on ns/op. A benchmark
+// regresses when new > old×(1+tolerance). allow (optional) is matched
+// against the benchmark ID (pkg.Name); matching benchmarks never fail
+// the gate, covering suites that are inherently noisy in CI.
+func Compare(old, new Report, tolerance float64, allow *regexp.Regexp) Comparison {
+	cmp := Comparison{Tolerance: tolerance}
+	newByID := make(map[string]Benchmark, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		newByID[b.ID()] = b
+	}
+	allowed := func(id string) bool { return allow != nil && allow.MatchString(id) }
+	for _, ob := range old.Benchmarks {
+		nb, ok := newByID[ob.ID()]
+		if !ok {
+			if !allowed(ob.ID()) {
+				cmp.Missing = append(cmp.Missing, ob.ID())
+			}
+			continue
+		}
+		cmp.Compared++
+		if ob.NsPerOp <= 0 {
+			continue // a zero baseline cannot regress meaningfully
+		}
+		d := Delta{ID: ob.ID(), OldNs: ob.NsPerOp, NewNs: nb.NsPerOp, Ratio: nb.NsPerOp / ob.NsPerOp}
+		if d.Ratio > 1+tolerance {
+			if allowed(d.ID) {
+				d.Allowed = true
+				cmp.Allowed = append(cmp.Allowed, d)
+			} else {
+				cmp.Regressions = append(cmp.Regressions, d)
+			}
+		}
+	}
+	sort.Slice(cmp.Regressions, func(i, j int) bool { return cmp.Regressions[i].Ratio > cmp.Regressions[j].Ratio })
+	sort.Slice(cmp.Allowed, func(i, j int) bool { return cmp.Allowed[i].Ratio > cmp.Allowed[j].Ratio })
+	sort.Strings(cmp.Missing)
+	return cmp
+}
+
+// Format renders the comparison for CI logs: worst offenders first,
+// then the allow-listed exceedances, then a one-line verdict.
+func (c Comparison) Format() string {
+	var sb strings.Builder
+	line := func(d Delta) {
+		fmt.Fprintf(&sb, "  %-60s %12.1f → %12.1f ns/op  (%.2fx)\n", d.ID, d.OldNs, d.NewNs, d.Ratio)
+	}
+	if len(c.Regressions) > 0 {
+		fmt.Fprintf(&sb, "REGRESSIONS (> %.0f%% over baseline):\n", c.Tolerance*100)
+		for _, d := range c.Regressions {
+			line(d)
+		}
+	}
+	if len(c.Missing) > 0 {
+		sb.WriteString("MISSING from new report:\n")
+		for _, id := range c.Missing {
+			fmt.Fprintf(&sb, "  %s\n", id)
+		}
+	}
+	if len(c.Allowed) > 0 {
+		sb.WriteString("allow-listed exceedances (not failing):\n")
+		for _, d := range c.Allowed {
+			line(d)
+		}
+	}
+	verdict := "OK"
+	if !c.OK() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "%s: %d benchmarks compared, %d regressions, %d missing, %d allow-listed (tolerance %.0f%%)\n",
+		verdict, c.Compared, len(c.Regressions), len(c.Missing), len(c.Allowed), c.Tolerance*100)
+	return sb.String()
+}

@@ -28,8 +28,13 @@ import (
 type Config struct {
 	// Workers is the size of the worker pool (default runtime.NumCPU()).
 	Workers int
-	// CacheSize bounds the synthesis LRU entry count (default 1024).
+	// CacheSize bounds the synthesis LRU entry count (default 1024),
+	// summed across shards.
 	CacheSize int
+	// CacheShards is the number of independent cache shards (rounded up
+	// to a power of two). Default: the smallest power of two ≥ 4×Workers,
+	// capped at 256 — enough stripes that hit traffic rarely contends.
+	CacheShards int
 }
 
 // defaultMaxAttempts bounds self-mapping effort when a request does not
@@ -54,7 +59,7 @@ const (
 // worker pool. It is safe for concurrent use; Close releases the
 // workers (no Submit/Do may follow Close).
 type Engine struct {
-	cache   *cache
+	cache   *shardedCache
 	pool    *pool
 	workers int
 
@@ -72,11 +77,29 @@ func New(cfg Config) *Engine {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 1024
 	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = defaultCacheShards(cfg.Workers)
+	}
 	return &Engine{
-		cache:   newCache(cfg.CacheSize),
+		cache:   newShardedCache(cfg.CacheSize, cfg.CacheShards),
 		pool:    newPool(cfg.Workers),
 		workers: cfg.Workers,
 	}
+}
+
+// defaultCacheShards picks the shard count for a pool of `workers`
+// goroutines: 4× oversubscription keeps the probability of two hot
+// lookups colliding on one shard's mutex low, capped so tiny caches are
+// not shredded into hundreds of near-empty LRUs.
+func defaultCacheShards(workers int) int {
+	n := 4 * workers
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
 }
 
 // Close stops the worker pool after draining queued jobs.
@@ -514,18 +537,23 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Resul
 // the daemon's /stats endpoint.
 type Stats struct {
 	Workers        int    `json:"workers"`
+	CacheShards    int    `json:"cache_shards"`
 	CacheCapacity  int    `json:"cache_capacity"`
 	CacheEntries   int    `json:"cache_entries"`
 	CacheHits      uint64 `json:"cache_hits"`
 	CacheMisses    uint64 `json:"cache_misses"`
 	CacheEvictions uint64 `json:"cache_evictions"`
-	SynthCalls     uint64 `json:"synth_calls"` // underlying core.Synthesize invocations
-	Requests       uint64 `json:"requests"`
-	Failures       uint64 `json:"failures"`
-	Synthesizes    uint64 `json:"requests_synthesize"`
-	Compares       uint64 `json:"requests_compare"`
-	Maps           uint64 `json:"requests_map"`
-	Yields         uint64 `json:"requests_yield"`
+	// CacheLoaded counts entries seeded from a persisted snapshot
+	// (LoadCacheSnapshot) still attributable to it: warm-start hits serve
+	// from these without any synth_calls.
+	CacheLoaded uint64 `json:"cache_loaded_from_snapshot"`
+	SynthCalls  uint64 `json:"synth_calls"` // underlying core.Synthesize invocations
+	Requests    uint64 `json:"requests"`
+	Failures    uint64 `json:"failures"`
+	Synthesizes uint64 `json:"requests_synthesize"`
+	Compares    uint64 `json:"requests_compare"`
+	Maps        uint64 `json:"requests_map"`
+	Yields      uint64 `json:"requests_yield"`
 	// Evaluation counts process-wide lattice evaluation work — the
 	// synthesis hot path — split into the per-assignment scalar walks
 	// and the bit-parallel word-block percolations that replaced them.
@@ -535,15 +563,17 @@ type Stats struct {
 
 // Stats returns the current counters.
 func (e *Engine) Stats() Stats {
-	hits, misses, evictions, entries := e.cache.counters()
+	hits, misses, evictions, loads, entries := e.cache.counters()
 	return Stats{
 		Evaluation:     lattice.CounterSnapshot(),
 		Workers:        e.workers,
-		CacheCapacity:  e.cache.capacity,
+		CacheShards:    len(e.cache.shards),
+		CacheCapacity:  e.cache.capacity(),
 		CacheEntries:   entries,
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheEvictions: evictions,
+		CacheLoaded:    loads,
 		SynthCalls:     e.synthCalls.Load(),
 		Requests:       e.requests.Load(),
 		Failures:       e.failures.Load(),

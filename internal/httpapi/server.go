@@ -203,8 +203,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// healthCache is the cache summary embedded in /healthz: enough for an
+// operator (or orchestrator probe) to tell a warm restart from a cold
+// one without pulling the full /stats counter dump.
+type healthCache struct {
+	Shards             int    `json:"shards"`
+	Entries            int    `json:"entries"`
+	LoadedFromSnapshot uint64 `json:"loaded_from_snapshot"`
+}
+
+type healthResponse struct {
+	Status string      `json:"status"`
+	Cache  healthCache `json:"cache"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok",
+		Cache: healthCache{
+			Shards:             st.CacheShards,
+			Entries:            st.CacheEntries,
+			LoadedFromSnapshot: st.CacheLoaded,
+		},
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

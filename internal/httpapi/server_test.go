@@ -48,9 +48,84 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	var body map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["status"] != "ok" {
-		t.Fatalf("healthz body %v (err %v)", body, err)
+	var body healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status != "ok" {
+		t.Fatalf("healthz body %+v (err %v)", body, err)
+	}
+	if body.Cache.Shards < 1 {
+		t.Fatalf("healthz cache.shards = %d, want >= 1", body.Cache.Shards)
+	}
+	if body.Cache.Entries != 0 || body.Cache.LoadedFromSnapshot != 0 {
+		t.Fatalf("cold server reports cache %+v, want empty", body.Cache)
+	}
+}
+
+// TestHealthzAndStatsReportPersistence covers the warm-restart
+// observability: after seeding the engine from a snapshot, /healthz and
+// /stats must both report the shard count, entry count, and how many
+// entries came from the snapshot.
+func TestHealthzAndStatsReportPersistence(t *testing.T) {
+	// Warm engine: synthesize, snapshot, reload into a fresh engine.
+	warm := engine.New(engine.Config{Workers: 2, CacheSize: 64, CacheShards: 8})
+	if res := warm.Do(engine.Request{Kind: engine.KindSynthesize, Function: engine.FunctionSpec{Name: "maj3"}}); !res.Ok() {
+		t.Fatalf("warmup: %s", res.Error)
+	}
+	var snap bytes.Buffer
+	n, err := warm.WriteCacheSnapshot(&snap)
+	warm.Close()
+	if err != nil || n != 1 {
+		t.Fatalf("snapshot: n=%d err=%v", n, err)
+	}
+
+	eng := engine.New(engine.Config{Workers: 2, CacheSize: 64, CacheShards: 8})
+	t.Cleanup(eng.Close)
+	if loaded, err := eng.ReadCacheSnapshot(&snap); err != nil || loaded != 1 {
+		t.Fatalf("load: loaded=%d err=%v", loaded, err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := healthCache{Shards: 8, Entries: 1, LoadedFromSnapshot: 1}
+	if health.Cache != want {
+		t.Fatalf("healthz cache %+v, want %+v", health.Cache, want)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st engine.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheShards != 8 || st.CacheEntries != 1 || st.CacheLoaded != 1 {
+		t.Fatalf("stats shards=%d entries=%d loaded=%d, want 8/1/1", st.CacheShards, st.CacheEntries, st.CacheLoaded)
+	}
+	// The loaded entry must serve as a hit, with no synthesis run.
+	resp, body := postJSON(t, ts.URL+"/v1/synthesize", engine.Request{
+		Function: engine.FunctionSpec{Name: "maj3"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status %d: %s", resp.StatusCode, body)
+	}
+	var res engine.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Synthesis == nil || !res.Synthesis.CacheHit {
+		t.Fatalf("warm-loaded function was not a cache hit: %s", body)
 	}
 }
 
