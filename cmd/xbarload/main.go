@@ -18,6 +18,12 @@
 //	         [-funcs 48] [-zipf-s 1.3] [-chips 12] [-density 0.04]
 //	         [-max-attempts 50] [-out -]
 //
+// -mix also accepts a built-in preset name: "default" (the cache-heavy
+// mix above) or "yield-heavy" (mostly streaming yield sweeps — the
+// fault-tolerance hot path). Yield sweeps additionally report per-die
+// map latency percentiles and mean self-mapping attempts per die in the
+// JSON output (the Soak/die pseudo-benchmark).
+//
 // With no -addr it boots a private in-process server (sized by -workers
 // and -cache) on a loopback port, which is what the CI soak smoke uses:
 //
@@ -63,12 +69,23 @@ const (
 
 var scenarioOrder = []string{scSynthesize, scMap, scYield, scCancel}
 
+// mixPresets are built-in scenario mixes selectable by passing their
+// name as -mix.
+var mixPresets = map[string]string{
+	// default leans on the synthesis cache and per-chip mapping.
+	"default": "synthesize=3,map=5,yield=1,cancel=1",
+	// yield-heavy drives the fault-tolerance path: most operations are
+	// streaming yield sweeps, each fanning dies across the server's
+	// workers.
+	"yield-heavy": "synthesize=1,map=2,yield=6,cancel=1",
+}
+
 func main() {
 	addr := flag.String("addr", "", "server base URL; empty starts an in-process server")
 	duration := flag.Duration("duration", 30*time.Second, "soak duration")
 	concurrency := flag.Int("concurrency", 8, "concurrent client streams")
 	seed := flag.Int64("seed", 1, "root seed for scenario and function draws")
-	mixSpec := flag.String("mix", "synthesize=3,map=5,yield=1,cancel=1", "scenario weights")
+	mixSpec := flag.String("mix", "default", "scenario weights (name=weight,...) or a preset name (default|yield-heavy)")
 	funcs := flag.Int("funcs", 48, "distinct functions in the popularity pool")
 	zipfS := flag.Float64("zipf-s", 1.3, "zipf exponent for function popularity (<=1 = uniform)")
 	chips := flag.Int("chips", 12, "dies per yield sweep")
@@ -165,8 +182,12 @@ func (s *inprocServer) close() {
 	s.eng.Close()
 }
 
-// parseMix reads "name=weight,..." into per-scenario weights.
+// parseMix reads "name=weight,..." into per-scenario weights; a bare
+// preset name expands to its built-in weights first.
 func parseMix(spec string) (map[string]int, error) {
+	if preset, ok := mixPresets[spec]; ok {
+		spec = preset
+	}
 	mix := make(map[string]int)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -241,6 +262,14 @@ type soakResult struct {
 	counts    map[string]int // completed ops per scenario
 	failed    map[string]int // unexpected errors per scenario
 
+	// Per-die observations from completed yield sweeps: the client-side
+	// inter-arrival latency of streamed die events (gaps between
+	// consecutive events; one fewer than dies per sweep) and the
+	// self-mapping attempts each die reported.
+	dieLats     []time.Duration
+	dieAttempts int64
+	dieEvents   int64
+
 	statsBefore, statsAfter nanoxbar.Stats
 	hitRate                 float64
 }
@@ -253,6 +282,14 @@ func (r *soakResult) record(scenario string, d time.Duration, failed bool) {
 	if failed {
 		r.failed[scenario]++
 	}
+}
+
+func (r *soakResult) recordDies(lats []time.Duration, attempts, dies int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dieLats = append(r.dieLats, lats...)
+	r.dieAttempts += attempts
+	r.dieEvents += dies
 }
 
 func (r *soakResult) totalOps() int {
@@ -319,7 +356,7 @@ func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult
 				}
 				scenario := deck[rng.Intn(len(deck))]
 				start := time.Now()
-				opErr := runOp(deadline, cl, cfg, scenario, pool[fi], rng.Int63())
+				opErr := runOp(deadline, cl, cfg, scenario, pool[fi], rng.Int63(), res)
 				elapsed := time.Since(start)
 				if deadline.Err() != nil && errors.Is(opErr, nanoxbar.ErrCanceled) {
 					// The soak window closed mid-call; not a data point.
@@ -348,9 +385,10 @@ func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult
 	return res, nil
 }
 
-// runOp executes one scenario call. The returned error is nil for
-// expected outcomes, including the cancel scenario's own cancellation.
-func runOp(ctx context.Context, cl *nbclient.Client, cfg soakConfig, scenario string, f nanoxbar.FunctionSpec, seed int64) error {
+// runOp executes one scenario call, reporting per-die observations of
+// yield sweeps into res. The returned error is nil for expected
+// outcomes, including the cancel scenario's own cancellation.
+func runOp(ctx context.Context, cl *nbclient.Client, cfg soakConfig, scenario string, f nanoxbar.FunctionSpec, seed int64, res *soakResult) error {
 	switch scenario {
 	case scSynthesize:
 		_, err := cl.Synthesize(ctx, f)
@@ -366,11 +404,32 @@ func runOp(ctx context.Context, cl *nbclient.Client, cfg soakConfig, scenario st
 		_ = out.Success // an unrecoverable die is a result, not a failure
 		return nil
 	case scYield:
+		// Dies stream in completion order; the gap between consecutive
+		// die events is the per-die map latency as the client observes
+		// it. The first event is excluded — its gap would measure
+		// request setup and any synthesis-cache miss, not a die.
+		var last time.Time
+		lats := make([]time.Duration, 0, cfg.chips)
+		var attempts, dies int64
 		_, err := cl.YieldSweep(ctx, f,
 			nanoxbar.WithSeed(seed),
 			nanoxbar.WithDensity(cfg.density),
 			nanoxbar.WithChips(cfg.chips),
-			nanoxbar.WithMaxAttempts(cfg.maxAttempts))
+			nanoxbar.WithMaxAttempts(cfg.maxAttempts),
+			nanoxbar.OnDie(func(d nanoxbar.Die) {
+				now := time.Now()
+				if !last.IsZero() {
+					lats = append(lats, now.Sub(last))
+				}
+				last = now
+				dies++
+				if d.Map != nil {
+					attempts += int64(d.Map.Configs)
+				}
+			}))
+		if err == nil {
+			res.recordDies(lats, attempts, dies)
+		}
 		return err
 	case scCancel:
 		// Stream a sweep and hang up partway through: the concurrent-
@@ -442,6 +501,27 @@ func (r *soakResult) report(duration time.Duration) benchreport.Report {
 				"max-ns":  float64(lats[len(lats)-1].Nanoseconds()),
 				"errors":  float64(r.failed[s]),
 				"ops/sec": float64(len(lats)) / duration.Seconds(),
+			},
+		})
+	}
+	if len(r.dieLats) > 0 {
+		lats := r.dieLats
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchreport.Benchmark{
+			Pkg:        "nanoxbar/cmd/xbarload",
+			Name:       "Soak/die",
+			Iterations: int64(len(lats)),
+			NsPerOp:    float64(sum.Nanoseconds()) / float64(len(lats)),
+			Metrics: map[string]float64{
+				"p50-ns":           float64(percentile(lats, 0.50).Nanoseconds()),
+				"p99-ns":           float64(percentile(lats, 0.99).Nanoseconds()),
+				"attempts-per-die": float64(r.dieAttempts) / float64(r.dieEvents),
+				"dies":             float64(r.dieEvents),
+				"dies/sec":         float64(r.dieEvents) / duration.Seconds(),
 			},
 		})
 	}

@@ -92,7 +92,7 @@ func TestStuckClosedBlocksUnusedCrosspoint(t *testing.T) {
 	ch := NewChip(d)
 	app := NewApp([][]bool{{true, false}, {false, true}})
 	// Identity mapping hits the stuck-closed cell.
-	ok, bad := ch.check(app, &Mapping{Rows: []int{0, 1}, Cols: []int{0, 1}})
+	ok, bad := ch.Check(app, &Mapping{Rows: []int{0, 1}, Cols: []int{0, 1}})
 	if ok {
 		t.Fatal("stuck-closed on an unused crosspoint must fail BIST")
 	}
@@ -101,7 +101,7 @@ func TestStuckClosedBlocksUnusedCrosspoint(t *testing.T) {
 	}
 	// Swapped rows: logical (0,·) on physical row 1; physical (0,1)
 	// now sits at logical (1,1) which IS used → stuck-closed harmless.
-	ok, _ = ch.check(app, &Mapping{Rows: []int{1, 0}, Cols: []int{0, 1}})
+	ok, _ = ch.Check(app, &Mapping{Rows: []int{1, 0}, Cols: []int{0, 1}})
 	if !ok {
 		t.Fatal("swap should tolerate the stuck-closed crosspoint")
 	}
@@ -109,18 +109,67 @@ func TestStuckClosedBlocksUnusedCrosspoint(t *testing.T) {
 
 func TestBridgesBlockAdjacency(t *testing.T) {
 	d := defect.NewMap(4, 4)
-	d.RowBridges[1] = true // rows 1,2 bridged
+	d.SetRowBridge(1, true) // rows 1,2 bridged
 	ch := NewChip(d)
 	app := NewApp([][]bool{{true, true}, {true, true}})
 	// Mapping using both bridged rows fails.
-	ok, _ := ch.check(app, &Mapping{Rows: []int{1, 2}, Cols: []int{0, 1}})
+	ok, _ := ch.Check(app, &Mapping{Rows: []int{1, 2}, Cols: []int{0, 1}})
 	if ok {
 		t.Fatal("bridged selected rows must fail")
 	}
 	// Skipping row 2 is fine.
-	ok, _ = ch.check(app, &Mapping{Rows: []int{1, 3}, Cols: []int{0, 1}})
+	ok, _ = ch.Check(app, &Mapping{Rows: []int{1, 3}, Cols: []int{0, 1}})
 	if !ok {
 		t.Fatal("non-adjacent selection must pass")
+	}
+}
+
+// TestCheckMatchesScalarReference is the mask-equivalence property
+// test: the word-plane BIST/BISD session must agree with the retained
+// per-crosspoint reference — pass/fail verdict and the exact diagnosed
+// resource set — over random chips, applications and mappings,
+// including wire faults and bridges around word boundaries.
+func TestCheckMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(80) // crosses the 64-line word boundary
+		p := defect.Params{
+			PStuckOpen:   rng.Float64() * 0.1,
+			PStuckClosed: rng.Float64() * 0.1,
+			PRowBreak:    rng.Float64() * 0.1,
+			PColBreak:    rng.Float64() * 0.1,
+			PRowBridge:   rng.Float64() * 0.1,
+			PColBridge:   rng.Float64() * 0.1,
+		}
+		d := defect.Random(n, n, p, rng)
+		ch := NewChip(d)
+		appDim := 1 + rng.Intn(n)
+		app := RandomApp(appDim, appDim, rng.Float64(), rng)
+		scr := getScratch(ch.N, app.R)
+		m := scr.mapping(app)
+		scr.randomMapping(ch.N, app, rng, m)
+
+		gotOK := ch.check(app, m, scr)
+		wantOK, wantBad := ch.checkScalar(app, m)
+		if gotOK != wantOK {
+			t.Fatalf("trial %d (n=%d): mask check %v, scalar %v\n%s", trial, n, gotOK, wantOK, d)
+		}
+		gotBad := map[Resource]bool{}
+		if !gotOK {
+			for _, r := range scr.bad.Resources() {
+				gotBad[r] = true
+			}
+		}
+		if len(gotBad) != len(wantBad) {
+			t.Fatalf("trial %d (n=%d): diagnosis size %d, scalar %d\nmask: %v\nscalar: %v",
+				trial, n, len(gotBad), len(wantBad), gotBad, wantBad)
+		}
+		for r := range wantBad {
+			if !gotBad[r] {
+				t.Fatalf("trial %d (n=%d): scalar diagnoses %v, mask does not", trial, n, r)
+			}
+		}
+		putScratch(scr)
 	}
 }
 

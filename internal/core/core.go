@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/bism"
@@ -73,6 +74,13 @@ type Implementation struct {
 	Lattice *lattice.Lattice   // four-terminal targets
 	DiodeA  *xbar2t.DiodeArray // diode targets
 	FETA    *xbar2t.FETArray   // FET targets
+
+	// app caches the App() conversion. Implementations are shared
+	// read-only through the engine cache, and a yield sweep maps the
+	// same implementation onto thousands of dies — the application
+	// matrix (and the used-column index bism precomputes inside it)
+	// must be built once per implementation, not once per die.
+	app atomic.Pointer[bism.App]
 }
 
 // Area returns Rows×Cols.
@@ -228,6 +236,19 @@ func (im *Implementation) ToApp() *bism.App {
 	}
 }
 
+// App returns the cached self-mapping application form of the
+// implementation. The result is shared: callers must treat it as
+// read-only (bism does). Use ToApp for a private copy.
+func (im *Implementation) App() *bism.App {
+	if a := im.app.Load(); a != nil {
+		return a
+	}
+	a := im.ToApp()
+	// Racing builders compute structurally identical apps; last wins.
+	im.app.Store(a)
+	return a
+}
+
 // MapReport is the outcome of placing an implementation on a defective
 // chip via a BISM scheme.
 type MapReport struct {
@@ -238,7 +259,7 @@ type MapReport struct {
 // MapWithRecovery runs the chosen self-mapping scheme to place the
 // implementation on a defective chip.
 func MapWithRecovery(im *Implementation, chip *defect.Map, scheme bism.Mapper, maxAttempts int, rng *rand.Rand) (*MapReport, error) {
-	app := im.ToApp()
+	app := im.App()
 	if chip.R != chip.C {
 		return nil, apierr.BadSpec("core: chip must be square, got %d×%d", chip.R, chip.C)
 	}

@@ -4,10 +4,21 @@
 // are generated from seeded random distributions — uniform Bernoulli or
 // clustered — standing in for the post-fabrication test data the paper's
 // flows consume (the repo has no physical chips; see DESIGN.md).
+//
+// The map is stored as bitset word planes: one []uint64 plane per
+// crosspoint defect kind (row-major, WordsPerRow words per row) plus one
+// bitset per wire-fault class. The word planes are what makes the
+// fault-tolerance hot paths bit-parallel — bism intersects them against
+// selection masks 64 columns at a time, and redundancy's lifetime scan
+// checks whole regions word-wise — while generation uses sparse
+// geometric-gap sampling so a die costs O(defects) random draws instead
+// of O(R·C).
 package defect
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 	"strings"
 )
@@ -34,14 +45,32 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// Map is the defect state of an R×C crossbar.
+// Map is the defect state of an R×C crossbar, held as bitset word
+// planes. A crosspoint (r,c) lives at bit c&63 of word r*WordsPerRow() +
+// c>>6 of the per-kind planes; wire faults are one bit per line. Bits
+// beyond C in the last word of each row (and beyond the line counts in
+// the wire bitsets) are always zero — every mutator maintains that
+// invariant, which is what lets the scan helpers (AnyDefect,
+// CountCrosspointDefects, the bism mask intersections) operate on whole
+// words without masking.
 type Map struct {
-	R, C       int
-	points     []Kind // row-major crosspoint defects
-	RowBroken  []bool // broken row wires (len R)
-	ColBroken  []bool // broken column wires (len C)
-	RowBridges []bool // bridge between rows r and r+1 (len R-1)
-	ColBridges []bool // bridge between cols c and c+1 (len C-1)
+	R, C int
+	w    int      // words per crosspoint-plane row: ceil(C/64)
+	open []uint64 // stuck-open plane, R*w words, row-major
+	clsd []uint64 // stuck-closed plane, R*w words, row-major
+
+	rowBroken []uint64 // bit r: row wire r broken (ceil(R/64) words)
+	colBroken []uint64 // bit c: column wire c broken (ceil(C/64) words)
+	rowBridge []uint64 // bit r: bridge between rows r and r+1 (bits 0..R-2)
+	colBridge []uint64 // bit c: bridge between cols c and c+1 (bits 0..C-2)
+}
+
+// wordsFor returns ceil(n/64) with a one-word minimum.
+func wordsFor(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return (n + 63) >> 6
 }
 
 // NewMap returns a defect-free map.
@@ -49,67 +78,160 @@ func NewMap(r, c int) *Map {
 	if r < 1 || c < 1 {
 		panic(fmt.Sprintf("defect: invalid shape %d×%d", r, c))
 	}
+	w := wordsFor(c)
 	return &Map{
-		R: r, C: c,
-		points:    make([]Kind, r*c),
-		RowBroken: make([]bool, r), ColBroken: make([]bool, c),
-		RowBridges: make([]bool, maxInt(r-1, 0)), ColBridges: make([]bool, maxInt(c-1, 0)),
+		R: r, C: c, w: w,
+		open: make([]uint64, r*w), clsd: make([]uint64, r*w),
+		rowBroken: make([]uint64, wordsFor(r)), colBroken: make([]uint64, wordsFor(c)),
+		rowBridge: make([]uint64, wordsFor(r)), colBridge: make([]uint64, wordsFor(c)),
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// Reset clears every defect, making the map reusable without
+// reallocation (the engine's per-worker die scratch).
+func (m *Map) Reset() {
+	clearWords(m.open)
+	clearWords(m.clsd)
+	clearWords(m.rowBroken)
+	clearWords(m.colBroken)
+	clearWords(m.rowBridge)
+	clearWords(m.colBridge)
+}
+
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
 	}
-	return b
+}
+
+func (m *Map) checkPoint(r, c int) {
+	if r < 0 || r >= m.R || c < 0 || c >= m.C {
+		panic(fmt.Sprintf("defect: crosspoint (%d,%d) outside %d×%d map", r, c, m.R, m.C))
+	}
 }
 
 // At returns the crosspoint defect kind.
-func (m *Map) At(r, c int) Kind { return m.points[r*m.C+c] }
+func (m *Map) At(r, c int) Kind {
+	m.checkPoint(r, c)
+	i, b := r*m.w+c>>6, uint(c&63)
+	if m.open[i]>>b&1 == 1 {
+		return StuckOpen
+	}
+	if m.clsd[i]>>b&1 == 1 {
+		return StuckClosed
+	}
+	return None
+}
 
 // Set assigns a crosspoint defect kind.
-func (m *Map) Set(r, c int, k Kind) { m.points[r*m.C+c] = k }
+func (m *Map) Set(r, c int, k Kind) {
+	m.checkPoint(r, c)
+	i, bit := r*m.w+c>>6, uint64(1)<<uint(c&63)
+	m.open[i] &^= bit
+	m.clsd[i] &^= bit
+	switch k {
+	case StuckOpen:
+		m.open[i] |= bit
+	case StuckClosed:
+		m.clsd[i] |= bit
+	}
+}
+
+func getBit(w []uint64, i int) bool { return w[i>>6]>>uint(i&63)&1 == 1 }
+func setBit(w []uint64, i int, v bool) {
+	if v {
+		w[i>>6] |= 1 << uint(i&63)
+	} else {
+		w[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// RowBroken reports whether row wire r is broken.
+func (m *Map) RowBroken(r int) bool { return getBit(m.rowBroken, r) }
+
+// SetRowBroken marks row wire r broken (or repaired).
+func (m *Map) SetRowBroken(r int, v bool) { setBit(m.rowBroken, r, v) }
+
+// ColBroken reports whether column wire c is broken.
+func (m *Map) ColBroken(c int) bool { return getBit(m.colBroken, c) }
+
+// SetColBroken marks column wire c broken (or repaired).
+func (m *Map) SetColBroken(c int, v bool) { setBit(m.colBroken, c, v) }
+
+// RowBridge reports a bridge between row wires r and r+1.
+func (m *Map) RowBridge(r int) bool { return getBit(m.rowBridge, r) }
+
+// SetRowBridge marks a bridge between rows r and r+1.
+func (m *Map) SetRowBridge(r int, v bool) {
+	if r < 0 || r >= m.R-1 {
+		panic(fmt.Sprintf("defect: row bridge %d outside [0,%d)", r, m.R-1))
+	}
+	setBit(m.rowBridge, r, v)
+}
+
+// ColBridge reports a bridge between column wires c and c+1.
+func (m *Map) ColBridge(c int) bool { return getBit(m.colBridge, c) }
+
+// SetColBridge marks a bridge between columns c and c+1.
+func (m *Map) SetColBridge(c int, v bool) {
+	if c < 0 || c >= m.C-1 {
+		panic(fmt.Sprintf("defect: col bridge %d outside [0,%d)", c, m.C-1))
+	}
+	setBit(m.colBridge, c, v)
+}
+
+// WordsPerRow returns the word stride of the crosspoint planes.
+func (m *Map) WordsPerRow() int { return m.w }
+
+// OpenRow returns the stuck-open plane words of row r (bit c set iff
+// crosspoint (r,c) is stuck open). The slice aliases the map: callers
+// must treat it as read-only.
+func (m *Map) OpenRow(r int) []uint64 { return m.open[r*m.w : (r+1)*m.w] }
+
+// ClosedRow returns the stuck-closed plane words of row r. Read-only.
+func (m *Map) ClosedRow(r int) []uint64 { return m.clsd[r*m.w : (r+1)*m.w] }
+
+// RowBrokenWords returns the broken-row bitset (bit r = row r broken).
+// Read-only.
+func (m *Map) RowBrokenWords() []uint64 { return m.rowBroken }
+
+// ColBrokenWords returns the broken-column bitset. Read-only.
+func (m *Map) ColBrokenWords() []uint64 { return m.colBroken }
+
+// RowBridgeWords returns the row-bridge bitset (bit r = bridge between
+// rows r and r+1). Read-only.
+func (m *Map) RowBridgeWords() []uint64 { return m.rowBridge }
+
+// ColBridgeWords returns the column-bridge bitset. Read-only.
+func (m *Map) ColBridgeWords() []uint64 { return m.colBridge }
 
 // CrosspointHealthy reports whether the crosspoint and both of its wires
 // are usable (no stuck fault, neither line broken).
 func (m *Map) CrosspointHealthy(r, c int) bool {
-	return m.At(r, c) == None && !m.RowBroken[r] && !m.ColBroken[c]
+	return m.At(r, c) == None && !m.RowBroken(r) && !m.ColBroken(c)
 }
 
 // CountCrosspointDefects returns the number of defective crosspoints.
 func (m *Map) CountCrosspointDefects() int {
 	n := 0
-	for _, k := range m.points {
-		if k != None {
-			n++
-		}
+	for _, w := range m.open {
+		n += bits.OnesCount64(w)
+	}
+	for _, w := range m.clsd {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
 
-// AnyDefect reports whether the map contains any defect at all.
+// AnyDefect reports whether the map contains any defect at all. With
+// word planes this is a scan for the first nonzero word, exiting
+// immediately instead of counting every defect.
 func (m *Map) AnyDefect() bool {
-	if m.CountCrosspointDefects() > 0 {
-		return true
-	}
-	for _, b := range m.RowBroken {
-		if b {
-			return true
-		}
-	}
-	for _, b := range m.ColBroken {
-		if b {
-			return true
-		}
-	}
-	for _, b := range m.RowBridges {
-		if b {
-			return true
-		}
-	}
-	for _, b := range m.ColBridges {
-		if b {
-			return true
+	for _, plane := range [6][]uint64{m.open, m.clsd, m.rowBroken, m.colBroken, m.rowBridge, m.colBridge} {
+		for _, w := range plane {
+			if w != 0 {
+				return true
+			}
 		}
 	}
 	return false
@@ -118,11 +240,12 @@ func (m *Map) AnyDefect() bool {
 // Clone returns an independent copy.
 func (m *Map) Clone() *Map {
 	c := NewMap(m.R, m.C)
-	copy(c.points, m.points)
-	copy(c.RowBroken, m.RowBroken)
-	copy(c.ColBroken, m.ColBroken)
-	copy(c.RowBridges, m.RowBridges)
-	copy(c.ColBridges, m.ColBridges)
+	copy(c.open, m.open)
+	copy(c.clsd, m.clsd)
+	copy(c.rowBroken, m.rowBroken)
+	copy(c.colBroken, m.colBroken)
+	copy(c.rowBridge, m.rowBridge)
+	copy(c.colBridge, m.colBridge)
 	return c
 }
 
@@ -131,7 +254,7 @@ func (m *Map) Clone() *Map {
 func (m *Map) String() string {
 	var sb strings.Builder
 	for r := 0; r < m.R; r++ {
-		if m.RowBroken[r] {
+		if m.RowBroken(r) {
 			sb.WriteByte('!')
 		} else {
 			sb.WriteByte(' ')
@@ -150,7 +273,7 @@ func (m *Map) String() string {
 	}
 	sb.WriteByte(' ')
 	for c := 0; c < m.C; c++ {
-		if m.ColBroken[c] {
+		if m.ColBroken(c) {
 			sb.WriteByte('!')
 		} else {
 			sb.WriteByte(' ')
@@ -187,8 +310,134 @@ func UniformCrosspoint(density float64) Params {
 	return Params{PStuckOpen: density * 0.8, PStuckClosed: density * 0.2}
 }
 
+// geoGap returns the number of Bernoulli(p) failures before the next
+// success, drawn by inverting the geometric CDF — the gap between
+// consecutive defects in skip sampling. invLogQ is 1/log(1-p),
+// precomputed by the caller since p is constant across a sweep.
+func geoGap(rng *rand.Rand, invLogQ float64) int {
+	// 1-U ∈ (0,1]; log(1-U) ≤ 0 and invLogQ < 0, so the product is
+	// ≥ 0. Large gaps are capped so callers can add them to indices
+	// without overflow.
+	g := math.Log(1-rng.Float64()) * invLogQ
+	if g >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(g)
+}
+
+// VisitBernoulli calls visit(i) for each i in [0,n) that succeeds an
+// independent Bernoulli(p) draw, using geometric-gap (skip) sampling:
+// the cost is O(p·n) random draws instead of n, the indices are visited
+// in increasing order, and the visited set has exactly the independent
+// per-index Bernoulli distribution. This is the shared sparse sampler of
+// the fault-tolerance paths: defect maps here, transient-upset masks in
+// internal/redundancy.
+func VisitBernoulli(rng *rand.Rand, p float64, n int, visit func(i int)) {
+	if p <= 0 || n <= 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < n; i++ {
+			visit(i)
+		}
+		return
+	}
+	invLogQ := 1 / math.Log1p(-p)
+	for i := geoGap(rng, invLogQ); i < n; {
+		visit(i)
+		g := geoGap(rng, invLogQ)
+		if i > n-1-g { // i + 1 + g overflow-safe termination
+			return
+		}
+		i += 1 + g
+	}
+}
+
 // Random draws a defect map.
 func Random(r, c int, p Params, rng *rand.Rand) *Map {
+	m := NewMap(r, c)
+	RandomInto(m, p, rng)
+	return m
+}
+
+// RandomInto redraws m in place from p — Random without the allocation,
+// for per-worker die scratch. The crosspoint planes are filled by skip
+// sampling over the R·C sites: defects arrive at geometric gaps under an
+// envelope probability, and (for clustered maps) each arrival is thinned
+// to the local site probability, so a 64×64 die at 1% density costs ~40
+// random draws instead of 4096. The draw stream differs from the
+// retained scalar reference (RandomScalar) — distributions match, exact
+// maps for a given seed do not.
+func RandomInto(m *Map, p Params, rng *rand.Rand) {
+	m.Reset()
+	r, c := m.R, m.C
+
+	// Cluster geometry, drawn before the crosspoint sweep like the
+	// scalar reference.
+	type pt struct{ r, c int }
+	var centers []pt
+	boostAt := func(int, int) float64 { return 1 }
+	boostMax := 1.0
+	if p.Clustered && p.ClusterCount > 0 {
+		centers = make([]pt, p.ClusterCount)
+		for i := range centers {
+			centers[i] = pt{rng.Intn(r), rng.Intn(c)}
+		}
+		if p.ClusterBoost > 1 {
+			boostMax = p.ClusterBoost
+		}
+		boostAt = func(ri, ci int) float64 {
+			for _, ct := range centers {
+				dr, dc := ri-ct.r, ci-ct.c
+				if dr < 0 {
+					dr = -dr
+				}
+				if dc < 0 {
+					dc = -dc
+				}
+				if dr+dc <= p.ClusterRadius {
+					return p.ClusterBoost
+				}
+			}
+			return 1
+		}
+	}
+
+	// Envelope: the largest per-site total defect probability anywhere
+	// on the die. Sites under the envelope are visited sparsely; each
+	// visit is thinned to the site's own (possibly boosted) stuck-open/
+	// stuck-closed split, preserving the scalar reference's marginals
+	// P(open)=min(pO·b,1), P(closed)=min(pO·b+pC·b,1)-min(pO·b,1).
+	pEnv := minF(p.PStuckOpen*boostMax, 1) + minF(p.PStuckClosed*boostMax, 1)
+	if pEnv > 1 {
+		pEnv = 1
+	}
+	VisitBernoulli(rng, pEnv, r*c, func(i int) {
+		ri, ci := i/c, i%c
+		b := boostAt(ri, ci)
+		po := minF(p.PStuckOpen*b, 1)
+		pc := minF(p.PStuckClosed*b, 1)
+		u := rng.Float64() * pEnv
+		switch {
+		case u < po:
+			m.Set(ri, ci, StuckOpen)
+		case u < minF(po+pc, 1):
+			m.Set(ri, ci, StuckClosed)
+		}
+	})
+
+	VisitBernoulli(rng, p.PRowBreak, r, func(i int) { setBit(m.rowBroken, i, true) })
+	VisitBernoulli(rng, p.PColBreak, c, func(i int) { setBit(m.colBroken, i, true) })
+	VisitBernoulli(rng, p.PRowBridge, r-1, func(i int) { setBit(m.rowBridge, i, true) })
+	VisitBernoulli(rng, p.PColBridge, c-1, func(i int) { setBit(m.colBridge, i, true) })
+}
+
+// RandomScalar is the retained scalar reference generator: one uniform
+// draw per crosspoint and per wire, exactly the pre-bitset semantics.
+// The property tests pin RandomInto's distributions against it, and the
+// benchmarks report the sparse sampler's speedup over it. Not used on
+// serving paths.
+func RandomScalar(r, c int, p Params, rng *rand.Rand) *Map {
 	m := NewMap(r, c)
 	boost := func(ri, ci int) float64 { return 1 }
 	if p.Clustered && p.ClusterCount > 0 {
@@ -228,16 +477,16 @@ func Random(r, c int, p Params, rng *rand.Rand) *Map {
 		}
 	}
 	for ri := 0; ri < r; ri++ {
-		m.RowBroken[ri] = rng.Float64() < p.PRowBreak
+		m.SetRowBroken(ri, rng.Float64() < p.PRowBreak)
 	}
 	for ci := 0; ci < c; ci++ {
-		m.ColBroken[ci] = rng.Float64() < p.PColBreak
+		m.SetColBroken(ci, rng.Float64() < p.PColBreak)
 	}
 	for ri := 0; ri+1 < r; ri++ {
-		m.RowBridges[ri] = rng.Float64() < p.PRowBridge
+		m.SetRowBridge(ri, rng.Float64() < p.PRowBridge)
 	}
 	for ci := 0; ci+1 < c; ci++ {
-		m.ColBridges[ci] = rng.Float64() < p.PColBridge
+		m.SetColBridge(ci, rng.Float64() < p.PColBridge)
 	}
 	return m
 }

@@ -1,0 +1,63 @@
+package defect
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkDefectRandom is the CI-gated defect-map generation number:
+// sparse geometric-gap sampling at a realistic 1% density. Compare
+// BenchmarkDefectRandomScalar for the retained per-crosspoint reference.
+func BenchmarkDefectRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMap(64, 64)
+	p := UniformCrosspoint(0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RandomInto(m, p, rng)
+	}
+}
+
+func BenchmarkDefectRandomScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := UniformCrosspoint(0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RandomScalar(64, 64, p, rng)
+	}
+}
+
+func BenchmarkDefectRandom256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMap(256, 256)
+	p := UniformCrosspoint(0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RandomInto(m, p, rng)
+	}
+}
+
+func BenchmarkDefectRandomClustered(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMap(64, 64)
+	p := UniformCrosspoint(0.01)
+	p.Clustered = true
+	p.ClusterCount = 3
+	p.ClusterRadius = 5
+	p.ClusterBoost = 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RandomInto(m, p, rng)
+	}
+}
+
+func BenchmarkAnyDefect(b *testing.B) {
+	m := NewMap(64, 64)
+	m.Set(63, 63, StuckOpen) // worst case: single defect at the end
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !m.AnyDefect() {
+			b.Fatal("defect lost")
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package defect
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -29,13 +30,143 @@ func TestSetAndHealth(t *testing.T) {
 	if !m.AnyDefect() || m.CountCrosspointDefects() != 1 {
 		t.Fatal("counts wrong")
 	}
+	m.Set(1, 2, StuckClosed)
+	if m.At(1, 2) != StuckClosed || m.CountCrosspointDefects() != 1 {
+		t.Fatal("overwrite must replace, not accumulate")
+	}
+	m.Set(1, 2, None)
+	if m.At(1, 2) != None || m.AnyDefect() {
+		t.Fatal("clearing a crosspoint must clean the map")
+	}
 	m2 := NewMap(3, 3)
-	m2.RowBroken[0] = true
+	m2.SetRowBroken(0, true)
 	if m2.CrosspointHealthy(0, 1) || !m2.AnyDefect() {
 		t.Fatal("broken row must poison its crosspoints")
 	}
 	if m2.CrosspointHealthy(1, 1) == false {
 		t.Fatal("other rows unaffected")
+	}
+}
+
+// TestBitsetMatchesShadowModel drives the bitset map and a naive
+// shadow model through an identical random operation stream and
+// requires every observable to agree — the representation-equivalence
+// property test for the word-plane rewrite.
+func TestBitsetMatchesShadowModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		R, C := 1+rng.Intn(70), 1+rng.Intn(70)
+		m := NewMap(R, C)
+		shadow := struct {
+			points         []Kind
+			rowBrk, colBrk []bool
+			rowBrg, colBrg []bool
+		}{
+			points: make([]Kind, R*C),
+			rowBrk: make([]bool, R), colBrk: make([]bool, C),
+			rowBrg: make([]bool, R), colBrg: make([]bool, C),
+		}
+		for op := 0; op < 500; op++ {
+			r, c := rng.Intn(R), rng.Intn(C)
+			switch rng.Intn(6) {
+			case 0:
+				k := Kind(rng.Intn(3))
+				m.Set(r, c, k)
+				shadow.points[r*C+c] = k
+			case 1:
+				v := rng.Intn(2) == 0
+				m.SetRowBroken(r, v)
+				shadow.rowBrk[r] = v
+			case 2:
+				v := rng.Intn(2) == 0
+				m.SetColBroken(c, v)
+				shadow.colBrk[c] = v
+			case 3:
+				if r < R-1 {
+					v := rng.Intn(2) == 0
+					m.SetRowBridge(r, v)
+					shadow.rowBrg[r] = v
+				}
+			case 4:
+				if c < C-1 {
+					v := rng.Intn(2) == 0
+					m.SetColBridge(c, v)
+					shadow.colBrg[c] = v
+				}
+			case 5:
+				if m.At(r, c) != shadow.points[r*C+c] {
+					t.Fatalf("At(%d,%d) diverged", r, c)
+				}
+			}
+		}
+		count, any := 0, false
+		for i, k := range shadow.points {
+			if k != None {
+				count++
+				any = true
+			}
+			if got := m.At(i/C, i%C); got != k {
+				t.Fatalf("trial %d: At(%d,%d)=%v want %v", trial, i/C, i%C, got, k)
+			}
+			wantHealthy := k == None && !shadow.rowBrk[i/C] && !shadow.colBrk[i%C]
+			if m.CrosspointHealthy(i/C, i%C) != wantHealthy {
+				t.Fatalf("trial %d: CrosspointHealthy(%d,%d) diverged", trial, i/C, i%C)
+			}
+		}
+		for r := 0; r < R; r++ {
+			any = any || shadow.rowBrk[r] || shadow.rowBrg[r]
+			if m.RowBroken(r) != shadow.rowBrk[r] {
+				t.Fatal("RowBroken diverged")
+			}
+			if r < R-1 && m.RowBridge(r) != shadow.rowBrg[r] {
+				t.Fatal("RowBridge diverged")
+			}
+		}
+		for c := 0; c < C; c++ {
+			any = any || shadow.colBrk[c] || shadow.colBrg[c]
+			if m.ColBroken(c) != shadow.colBrk[c] {
+				t.Fatal("ColBroken diverged")
+			}
+			if c < C-1 && m.ColBridge(c) != shadow.colBrg[c] {
+				t.Fatal("ColBridge diverged")
+			}
+		}
+		if m.CountCrosspointDefects() != count {
+			t.Fatalf("trial %d: count %d want %d", trial, m.CountCrosspointDefects(), count)
+		}
+		if m.AnyDefect() != any {
+			t.Fatalf("trial %d: AnyDefect %v want %v", trial, m.AnyDefect(), any)
+		}
+	}
+}
+
+// TestPlaneWordInvariants checks the all-zero-beyond-C invariant the
+// mask intersections in bism rely on, at awkward widths around word
+// boundaries.
+func TestPlaneWordInvariants(t *testing.T) {
+	for _, c := range []int{1, 63, 64, 65, 127, 128, 129} {
+		m := NewMap(3, c)
+		for ci := 0; ci < c; ci++ {
+			m.Set(1, ci, StuckOpen)
+			m.Set(2, ci, StuckClosed)
+		}
+		validLast := ^uint64(0)
+		if c&63 != 0 {
+			validLast = uint64(1)<<uint(c&63) - 1
+		}
+		for r := 0; r < 3; r++ {
+			for _, plane := range [][]uint64{m.OpenRow(r), m.ClosedRow(r)} {
+				if len(plane) != m.WordsPerRow() {
+					t.Fatalf("c=%d: row plane has %d words, want %d", c, len(plane), m.WordsPerRow())
+				}
+				if last := plane[len(plane)-1]; last&^validLast != 0 {
+					t.Fatalf("c=%d: bits beyond C set in last word: %#x", c, last)
+				}
+			}
+		}
+		if m.CountCrosspointDefects() != 2*c {
+			t.Fatalf("c=%d: count %d want %d", c, m.CountCrosspointDefects(), 2*c)
+		}
 	}
 }
 
@@ -62,6 +193,143 @@ func TestRandomDensity(t *testing.T) {
 	}
 }
 
+// TestSparseMatchesScalarStatistically pins the sparse sampler against
+// the retained scalar reference: over many seeded dies, mean crosspoint
+// and wire defect counts must agree within Monte Carlo tolerance, for
+// both uniform and clustered parameters.
+func TestSparseMatchesScalarStatistically(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"uniform2%", UniformCrosspoint(0.02)},
+		{"uniform20%", UniformCrosspoint(0.20)},
+		{"wires", Params{PStuckOpen: 0.01, PRowBreak: 0.05, PColBreak: 0.05, PRowBridge: 0.03, PColBridge: 0.03}},
+		{"clustered", func() Params {
+			p := UniformCrosspoint(0.01)
+			p.Clustered = true
+			p.ClusterCount = 3
+			p.ClusterRadius = 5
+			p.ClusterBoost = 20
+			return p
+		}()},
+	}
+	const n, trials = 48, 60
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rngA := rand.New(rand.NewSource(9))
+			rngB := rand.New(rand.NewSource(10009))
+			sparsePts, scalarPts := 0, 0
+			sparseWires, scalarWires := 0, 0
+			countWires := func(m *Map) int {
+				w := 0
+				for r := 0; r < n; r++ {
+					if m.RowBroken(r) {
+						w++
+					}
+					if r < n-1 && m.RowBridge(r) {
+						w++
+					}
+				}
+				for c := 0; c < n; c++ {
+					if m.ColBroken(c) {
+						w++
+					}
+					if c < n-1 && m.ColBridge(c) {
+						w++
+					}
+				}
+				return w
+			}
+			for i := 0; i < trials; i++ {
+				a := Random(n, n, tc.p, rngA)
+				b := RandomScalar(n, n, tc.p, rngB)
+				sparsePts += a.CountCrosspointDefects()
+				scalarPts += b.CountCrosspointDefects()
+				sparseWires += countWires(a)
+				scalarWires += countWires(b)
+			}
+			// Counts are sums of thousands of Bernoulli draws; a 25%
+			// relative band is > 5 sigma for every case above.
+			near := func(got, want int) bool {
+				g, w := float64(got), float64(want)
+				return math.Abs(g-w) <= 0.25*math.Max(w, 40)
+			}
+			if !near(sparsePts, scalarPts) {
+				t.Fatalf("crosspoint defects diverge: sparse %d vs scalar %d", sparsePts, scalarPts)
+			}
+			if !near(sparseWires, scalarWires) {
+				t.Fatalf("wire defects diverge: sparse %d vs scalar %d", sparseWires, scalarWires)
+			}
+		})
+	}
+}
+
+// TestSparseSamplerChiSquare checks positional uniformity of the skip
+// sampler with fixed seeds: defect positions bucketed into 8 strata of
+// the flat site index must be compatible with a uniform distribution
+// (the classic failure mode of a wrong gap formula is bias toward low
+// or high indices).
+func TestSparseSamplerChiSquare(t *testing.T) {
+	const n, trials, strata = 64, 80, 8
+	rng := rand.New(rand.NewSource(1234))
+	var buckets [strata]int
+	total := 0
+	for i := 0; i < trials; i++ {
+		m := Random(n, n, UniformCrosspoint(0.05), rng)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if m.At(r, c) != None {
+					buckets[(r*n+c)*strata/(n*n)]++
+					total++
+				}
+			}
+		}
+	}
+	if total < 10000 {
+		t.Fatalf("sampler produced only %d defects; expected ~16k", total)
+	}
+	exp := float64(total) / strata
+	chi2 := 0.0
+	for _, b := range buckets {
+		d := float64(b) - exp
+		chi2 += d * d / exp
+	}
+	// 7 degrees of freedom: P(chi2 > 24.3) ≈ 0.001. Fixed seeds make
+	// this deterministic, not flaky.
+	if chi2 > 24.3 {
+		t.Fatalf("chi-square %.1f over strata %v (exp %.0f each): sampler positionally biased", chi2, buckets, exp)
+	}
+}
+
+// TestVisitBernoulliExtremes covers the degenerate probabilities.
+func TestVisitBernoulliExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	calls := 0
+	VisitBernoulli(rng, 0, 100, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatal("p=0 must visit nothing")
+	}
+	VisitBernoulli(rng, 1, 100, func(i int) {
+		if i != calls {
+			t.Fatal("p=1 must visit in order")
+		}
+		calls++
+	})
+	if calls != 100 {
+		t.Fatal("p=1 must visit everything")
+	}
+	VisitBernoulli(rng, 0.5, 0, func(int) { t.Fatal("n=0 must visit nothing") })
+	// Indices stay in range and strictly increase.
+	last := -1
+	VisitBernoulli(rng, 0.3, 1000, func(i int) {
+		if i <= last || i >= 1000 {
+			t.Fatalf("bad index %d after %d", i, last)
+		}
+		last = i
+	})
+}
+
 func TestRandomZeroDensityClean(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	m := Random(16, 16, Params{}, rng)
@@ -79,6 +347,25 @@ func TestRandomReproducible(t *testing.T) {
 				t.Fatal("same seed must give same map")
 			}
 		}
+	}
+}
+
+func TestRandomIntoReusesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMap(16, 16)
+	RandomInto(m, UniformCrosspoint(0.5), rng)
+	if !m.AnyDefect() {
+		t.Fatal("dense draw produced no defects")
+	}
+	RandomInto(m, Params{}, rng)
+	if m.AnyDefect() {
+		t.Fatal("RandomInto must reset previous defects")
+	}
+	// A fixed seed gives the same map whether drawn fresh or into scratch.
+	a := Random(16, 16, UniformCrosspoint(0.1), rand.New(rand.NewSource(3)))
+	RandomInto(m, UniformCrosspoint(0.1), rand.New(rand.NewSource(3)))
+	if a.String() != m.String() {
+		t.Fatal("RandomInto diverges from Random at equal seed")
 	}
 }
 
@@ -106,12 +393,12 @@ func TestLineDefects(t *testing.T) {
 	p := Params{PRowBreak: 1, PColBridge: 1}
 	m := Random(4, 4, p, rng)
 	for r := 0; r < 4; r++ {
-		if !m.RowBroken[r] {
+		if !m.RowBroken(r) {
 			t.Fatal("row break probability 1 must break all rows")
 		}
 	}
 	for c := 0; c+1 < 4; c++ {
-		if !m.ColBridges[c] {
+		if !m.ColBridge(c) {
 			t.Fatal("col bridge probability 1 must bridge all columns")
 		}
 	}
@@ -121,8 +408,8 @@ func TestCloneIndependent(t *testing.T) {
 	m := NewMap(2, 2)
 	c := m.Clone()
 	c.Set(0, 0, StuckClosed)
-	c.RowBroken[1] = true
-	if m.At(0, 0) != None || m.RowBroken[1] {
+	c.SetRowBroken(1, true)
+	if m.At(0, 0) != None || m.RowBroken(1) {
 		t.Fatal("clone aliases original")
 	}
 }
@@ -131,7 +418,7 @@ func TestStringRender(t *testing.T) {
 	m := NewMap(2, 3)
 	m.Set(0, 1, StuckOpen)
 	m.Set(1, 2, StuckClosed)
-	m.RowBroken[1] = true
+	m.SetRowBroken(1, true)
 	s := m.String()
 	if !strings.Contains(s, "o") || !strings.Contains(s, "c") || !strings.Contains(s, "!") {
 		t.Fatalf("rendering missing markers:\n%s", s)
@@ -151,4 +438,20 @@ func TestNewMapPanics(t *testing.T) {
 		}
 	}()
 	NewMap(0, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	m := NewMap(4, 4)
+	mustPanic(func() { m.At(0, 4) })
+	mustPanic(func() { m.Set(4, 0, StuckOpen) })
+	mustPanic(func() { m.SetRowBridge(3, true) })
+	mustPanic(func() { m.SetColBridge(-1, true) })
 }

@@ -50,14 +50,14 @@ func RawMapBits(n int) int { return n*n + 4*n }
 func IsUniversal(m *defect.Map, rows, cols []int) bool {
 	selRow := make(map[int]bool, len(rows))
 	for _, r := range rows {
-		if r < 0 || r >= m.R || m.RowBroken[r] || selRow[r] {
+		if r < 0 || r >= m.R || m.RowBroken(r) || selRow[r] {
 			return false
 		}
 		selRow[r] = true
 	}
 	selCol := make(map[int]bool, len(cols))
 	for _, c := range cols {
-		if c < 0 || c >= m.C || m.ColBroken[c] || selCol[c] {
+		if c < 0 || c >= m.C || m.ColBroken(c) || selCol[c] {
 			return false
 		}
 		selCol[c] = true
@@ -70,12 +70,12 @@ func IsUniversal(m *defect.Map, rows, cols []int) bool {
 		}
 	}
 	for r := 0; r+1 < m.R; r++ {
-		if m.RowBridges[r] && selRow[r] && selRow[r+1] {
+		if m.RowBridge(r) && selRow[r] && selRow[r+1] {
 			return false
 		}
 	}
 	for c := 0; c+1 < m.C; c++ {
-		if m.ColBridges[c] && selCol[c] && selCol[c+1] {
+		if m.ColBridge(c) && selCol[c] && selCol[c+1] {
 			return false
 		}
 	}
@@ -91,10 +91,10 @@ func Greedy(m *defect.Map) *Extraction {
 	rowAlive := make([]bool, m.R)
 	colAlive := make([]bool, m.C)
 	for r := range rowAlive {
-		rowAlive[r] = !m.RowBroken[r]
+		rowAlive[r] = !m.RowBroken(r)
 	}
 	for c := range colAlive {
-		colAlive[c] = !m.ColBroken[c]
+		colAlive[c] = !m.ColBroken(c)
 	}
 	defCount := func(isRow bool, i int) int {
 		n := 0
@@ -115,7 +115,7 @@ func Greedy(m *defect.Map) *Extraction {
 	}
 	// Bridge conflicts: drop the endpoint with more defects.
 	for r := 0; r+1 < m.R; r++ {
-		if m.RowBridges[r] && rowAlive[r] && rowAlive[r+1] {
+		if m.RowBridge(r) && rowAlive[r] && rowAlive[r+1] {
 			if defCount(true, r) >= defCount(true, r+1) {
 				rowAlive[r] = false
 			} else {
@@ -124,7 +124,7 @@ func Greedy(m *defect.Map) *Extraction {
 		}
 	}
 	for c := 0; c+1 < m.C; c++ {
-		if m.ColBridges[c] && colAlive[c] && colAlive[c+1] {
+		if m.ColBridge(c) && colAlive[c] && colAlive[c+1] {
 			if defCount(false, c) >= defCount(false, c+1) {
 				colAlive[c] = false
 			} else {
@@ -188,13 +188,13 @@ func Greedy(m *defect.Map) *Extraction {
 	for changed := true; changed; {
 		changed = false
 		for r := 0; r < m.R; r++ {
-			if rowAlive[r] || m.RowBroken[r] {
+			if rowAlive[r] || m.RowBroken(r) {
 				continue
 			}
-			if r > 0 && m.RowBridges[r-1] && rowAlive[r-1] {
+			if r > 0 && m.RowBridge(r-1) && rowAlive[r-1] {
 				continue
 			}
-			if r+1 < m.R && m.RowBridges[r] && rowAlive[r+1] {
+			if r+1 < m.R && m.RowBridge(r) && rowAlive[r+1] {
 				continue
 			}
 			if defCount(true, r) == 0 {
@@ -203,13 +203,13 @@ func Greedy(m *defect.Map) *Extraction {
 			}
 		}
 		for c := 0; c < m.C; c++ {
-			if colAlive[c] || m.ColBroken[c] {
+			if colAlive[c] || m.ColBroken(c) {
 				continue
 			}
-			if c > 0 && m.ColBridges[c-1] && colAlive[c-1] {
+			if c > 0 && m.ColBridge(c-1) && colAlive[c-1] {
 				continue
 			}
-			if c+1 < m.C && m.ColBridges[c] && colAlive[c+1] {
+			if c+1 < m.C && m.ColBridge(c) && colAlive[c+1] {
 				continue
 			}
 			if defCount(false, c) == 0 {
@@ -254,10 +254,10 @@ func ExactMaxK(m *defect.Map, maxN int) (int, bool) {
 			if sub>>uint(r)&1 == 0 {
 				continue
 			}
-			if m.RowBroken[r] {
+			if m.RowBroken(r) {
 				ok = false
 			}
-			if r+1 < m.R && m.RowBridges[r] && sub>>uint(r+1)&1 == 1 {
+			if r+1 < m.R && m.RowBridge(r) && sub>>uint(r+1)&1 == 1 {
 				ok = false
 			}
 		}
@@ -267,7 +267,7 @@ func ExactMaxK(m *defect.Map, maxN int) (int, bool) {
 		// Columns clean against every selected row.
 		clean := make([]bool, m.C)
 		for c := 0; c < m.C; c++ {
-			clean[c] = !m.ColBroken[c]
+			clean[c] = !m.ColBroken(c)
 			for r := 0; r < m.R && clean[c]; r++ {
 				if sub>>uint(r)&1 == 1 && m.At(r, c) != defect.None {
 					clean[c] = false
@@ -283,7 +283,7 @@ func ExactMaxK(m *defect.Map, maxN int) (int, bool) {
 		for c := 0; c < m.C; c++ {
 			t := negInf
 			if clean[c] {
-				if c > 0 && m.ColBridges[c-1] {
+				if c > 0 && m.ColBridge(c-1) {
 					t = skipPrev + 1
 				} else {
 					t = max(takePrev, skipPrev) + 1

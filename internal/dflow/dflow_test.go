@@ -107,7 +107,7 @@ func TestExactHandlesBridges(t *testing.T) {
 	// selected → at most 2 rows {0,2} or {1,3} → k = 2.
 	m := defect.NewMap(4, 4)
 	for r := 0; r+1 < 4; r++ {
-		m.RowBridges[r] = true
+		m.SetRowBridge(r, true)
 	}
 	exact, ok := ExactMaxK(m, 10)
 	if !ok || exact != 2 {
@@ -185,7 +185,7 @@ func TestIsUniversalRejects(t *testing.T) {
 	if IsUniversal(m, []int{0, 9}, []int{1, 2}) {
 		t.Fatal("out-of-range row accepted")
 	}
-	m.RowBroken[3] = true
+	m.SetRowBroken(3, true)
 	if IsUniversal(m, []int{3}, []int{0}) {
 		t.Fatal("broken row accepted")
 	}

@@ -67,6 +67,13 @@ type Engine struct {
 	failures   atomic.Uint64
 	synthCalls atomic.Uint64
 	byKind     [4]atomic.Uint64 // synthesize, compare, map, yield
+
+	// Fault-path counters: dies placed through the self-mapper, random
+	// defect maps drawn, and total self-mapping configurations spent —
+	// mean attempts per die is mapAttempts/diesMapped.
+	diesMapped  atomic.Uint64
+	defectMaps  atomic.Uint64
+	mapAttempts atomic.Uint64
 }
 
 // New starts an engine.
@@ -330,7 +337,7 @@ func (e *Engine) runCompare(ctx context.Context, req Request) Result {
 func chipSizeFor(req Request, imp *core.Implementation) (int, error) {
 	n := req.ChipSize
 	if n <= 0 {
-		app := imp.ToApp()
+		app := imp.App()
 		n = app.R
 		if app.C > n {
 			n = app.C
@@ -354,12 +361,15 @@ func boundedAttempts(req Request) (int, error) {
 	return req.MaxAttempts, nil
 }
 
-// mapOnce places imp on one chip and summarizes the recovery effort.
-func mapOnce(imp *core.Implementation, chip *defect.Map, scheme bism.Mapper, maxAttempts int, rng *rand.Rand) (*MapResult, error) {
+// mapOnce places imp on one chip and summarizes the recovery effort,
+// feeding the engine's fault-path counters.
+func (e *Engine) mapOnce(imp *core.Implementation, chip *defect.Map, scheme bism.Mapper, maxAttempts int, rng *rand.Rand) (*MapResult, error) {
 	rep, err := core.MapWithRecovery(imp, chip, scheme, maxAttempts, rng)
 	if err != nil {
 		return nil, err
 	}
+	e.diesMapped.Add(1)
+	e.mapAttempts.Add(uint64(rep.Stats.Configs))
 	mr := &MapResult{
 		Success:   rep.Stats.Success,
 		Configs:   rep.Stats.Configs,
@@ -391,7 +401,8 @@ func (e *Engine) runMap(ctx context.Context, req Request) Result {
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
-	rng := rand.New(rand.NewSource(req.Seed))
+	src, rng := newDieRand()
+	src.Seed(req.Seed)
 	var chip *defect.Map
 	if req.Chip != nil {
 		chip, err = req.Chip.ToMap()
@@ -399,12 +410,13 @@ func (e *Engine) runMap(ctx context.Context, req Request) Result {
 		var n int
 		if n, err = chipSizeFor(req, imp); err == nil {
 			chip = defect.Random(n, n, defect.UniformCrosspoint(req.Density), rng)
+			e.defectMaps.Add(1)
 		}
 	}
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
-	mr, err := mapOnce(imp, chip, scheme, maxAttempts, rng)
+	mr, err := e.mapOnce(imp, chip, scheme, maxAttempts, rng)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
@@ -452,8 +464,8 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Resul
 	// Fan the dies across fresh goroutines (not the pool: pool jobs
 	// waiting on sub-jobs of the same pool can deadlock when every
 	// worker holds a yield request). Each die gets its own sub-seeded
-	// RNG, so results are independent of scheduling order; onDie fires
-	// in completion order under emitMu.
+	// RNG stream, so results are independent of scheduling order; onDie
+	// fires in completion order under emitMu.
 	type dieOut struct {
 		mr  *MapResult
 		err error
@@ -463,17 +475,23 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Resul
 	if par > chips {
 		par = chips
 	}
-	// oneDie maps die i; panics become that die's error instead of
-	// unwinding the bare goroutine (which would kill the process).
-	oneDie := func(i int) (mr *MapResult, err error) {
+	params := defect.UniformCrosspoint(req.Density)
+	// oneDie maps die i on the worker's pooled scratch — the defect map
+	// is redrawn in place and the RNG reseeded, so the per-die cost is
+	// the sparse draw plus the repair attempts, with zero allocations
+	// beyond the die's own result. Panics become that die's error
+	// instead of unwinding the bare goroutine (which would kill the
+	// process).
+	oneDie := func(i int, chip *defect.Map, src *splitmixSource, rng *rand.Rand) (mr *MapResult, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = apierr.Internal("engine: panic mapping die %d: %v", i, r)
 			}
 		}()
-		rng := rand.New(rand.NewSource(subSeed(req.Seed, i)))
-		chip := defect.Random(size, size, defect.UniformCrosspoint(req.Density), rng)
-		return mapOnce(imp, chip, scheme, maxAttempts, rng)
+		src.Seed(subSeed(req.Seed, i))
+		defect.RandomInto(chip, params, rng)
+		e.defectMaps.Add(1)
+		return e.mapOnce(imp, chip, scheme, maxAttempts, rng)
 	}
 	var (
 		next   atomic.Int64
@@ -485,6 +503,10 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Resul
 	for w := 0; w < par; w++ {
 		go func() {
 			defer wg.Done()
+			// Per-worker die scratch, reused across all dies the worker
+			// draws from the shared counter.
+			src, rng := newDieRand()
+			chip := defect.NewMap(size, size)
 			for {
 				// The die boundary is the cancellation point: a sweep
 				// canceled mid-flight stops drawing new dies; dies
@@ -498,7 +520,7 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Resul
 				if i >= chips {
 					return
 				}
-				mr, err := oneDie(i)
+				mr, err := oneDie(i, chip, src, rng)
 				outs[i] = dieOut{mr: mr, err: err}
 				if onDie != nil {
 					emitMu.Lock()
@@ -554,6 +576,14 @@ type Stats struct {
 	Compares    uint64 `json:"requests_compare"`
 	Maps        uint64 `json:"requests_map"`
 	Yields      uint64 `json:"requests_yield"`
+	// Fault-path counters: the per-die work the map/yield kinds fan
+	// out — dies placed through the self-mapper, random defect maps
+	// generated, self-mapping configurations spent in total, and the
+	// mean attempts per die.
+	DiesMapped          uint64  `json:"dies_mapped"`
+	DefectMapsGenerated uint64  `json:"defect_maps_generated"`
+	MapAttempts         uint64  `json:"map_attempts_total"`
+	MeanMapAttempts     float64 `json:"mean_map_attempts"`
 	// Evaluation counts process-wide lattice evaluation work — the
 	// synthesis hot path — split into the per-assignment scalar walks
 	// and the bit-parallel word-block percolations that replaced them.
@@ -564,23 +594,32 @@ type Stats struct {
 // Stats returns the current counters.
 func (e *Engine) Stats() Stats {
 	hits, misses, evictions, loads, entries := e.cache.counters()
+	dies, attempts := e.diesMapped.Load(), e.mapAttempts.Load()
+	mean := 0.0
+	if dies > 0 {
+		mean = float64(attempts) / float64(dies)
+	}
 	return Stats{
-		Evaluation:     lattice.CounterSnapshot(),
-		Workers:        e.workers,
-		CacheShards:    len(e.cache.shards),
-		CacheCapacity:  e.cache.capacity(),
-		CacheEntries:   entries,
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheLoaded:    loads,
-		SynthCalls:     e.synthCalls.Load(),
-		Requests:       e.requests.Load(),
-		Failures:       e.failures.Load(),
-		Synthesizes:    e.byKind[0].Load(),
-		Compares:       e.byKind[1].Load(),
-		Maps:           e.byKind[2].Load(),
-		Yields:         e.byKind[3].Load(),
-		Fingerprint:    core.Fingerprint(),
+		DiesMapped:          dies,
+		DefectMapsGenerated: e.defectMaps.Load(),
+		MapAttempts:         attempts,
+		MeanMapAttempts:     mean,
+		Evaluation:          lattice.CounterSnapshot(),
+		Workers:             e.workers,
+		CacheShards:         len(e.cache.shards),
+		CacheCapacity:       e.cache.capacity(),
+		CacheEntries:        entries,
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		CacheEvictions:      evictions,
+		CacheLoaded:         loads,
+		SynthCalls:          e.synthCalls.Load(),
+		Requests:            e.requests.Load(),
+		Failures:            e.failures.Load(),
+		Synthesizes:         e.byKind[0].Load(),
+		Compares:            e.byKind[1].Load(),
+		Maps:                e.byKind[2].Load(),
+		Yields:              e.byKind[3].Load(),
+		Fingerprint:         core.Fingerprint(),
 	}
 }

@@ -71,6 +71,57 @@ func BenchmarkMapBatchPooled(b *testing.B) {
 	}
 }
 
+// BenchmarkMapOnce is the CI-gated per-die number: draw one 64×64 die
+// at 2% density into pooled scratch and place maj3 on it with greedy
+// recovery — the unit of work a yield sweep repeats per chip.
+func BenchmarkMapOnce(b *testing.B) {
+	e := New(Config{Workers: 1, CacheSize: 16})
+	defer e.Close()
+	spec := benchfn.Majority(3)
+	imp, _, err := e.Synthesize(spec.F, core.FourTerminal, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, rng := newDieRand()
+	chip := defect.NewMap(64, 64)
+	params := defect.UniformCrosspoint(0.02)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+		defect.RandomInto(chip, params, rng)
+		if _, err := e.mapOnce(imp, chip, bism.Greedy{}, defaultMaxAttempts, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYieldSweep is the CI-gated end-to-end number: one KindYield
+// request sweeping 64 dies of a 64×64 chip at 2% density through the
+// full engine path (cache hit, per-worker die scratch, aggregation).
+func BenchmarkYieldSweep(b *testing.B) {
+	e := New(Config{CacheSize: 64}) // default worker count
+	defer e.Close()
+	req := Request{
+		Kind:     KindYield,
+		Function: FunctionSpec{Name: "maj3"},
+		Density:  0.02,
+		Chips:    64,
+		ChipSize: 64,
+		Seed:     42,
+	}
+	if r := e.Do(req); !r.Ok() {
+		b.Fatal(r.Error)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := e.Do(req); !r.Ok() {
+			b.Fatal(r.Error)
+		}
+	}
+}
+
 func BenchmarkMapBatchSerial(b *testing.B) {
 	// The same 64-chip workload without the engine: one synthesis,
 	// then sequential MapWithRecovery calls on the caller goroutine.

@@ -238,6 +238,17 @@ func TestYieldSweep(t *testing.T) {
 	if st := e.Stats(); st.SynthCalls != 1 {
 		t.Fatalf("synth calls=%d, want 1", st.SynthCalls)
 	}
+	// Fault-path accounting: both sweeps drew and mapped 40 dies each.
+	st := e.Stats()
+	if st.DiesMapped != 80 || st.DefectMapsGenerated != 80 {
+		t.Fatalf("dies=%d maps=%d, want 80/80", st.DiesMapped, st.DefectMapsGenerated)
+	}
+	if st.MapAttempts < st.DiesMapped {
+		t.Fatalf("map attempts %d below dies %d", st.MapAttempts, st.DiesMapped)
+	}
+	if want := float64(st.MapAttempts) / float64(st.DiesMapped); st.MeanMapAttempts != want {
+		t.Fatalf("mean attempts %v, want %v", st.MeanMapAttempts, want)
+	}
 }
 
 func TestRequestValidation(t *testing.T) {

@@ -1,0 +1,52 @@
+// Per-die random sources. The engine reseeds a source for every die so
+// yield results are independent of worker scheduling, but math/rand's
+// default lagged-Fibonacci source pays a ~600-step table initialization
+// per Seed — more expensive than generating the whole defect map it
+// feeds. splitmixSource is a rand.Source64 with O(1) seeding
+// (splitmix64, the standard seeder for xoshiro-family generators).
+
+package engine
+
+import "math/rand"
+
+// splitmixSource implements rand.Source64 over splitmix64.
+type splitmixSource struct {
+	s uint64
+}
+
+// newDieRand returns a reseedable per-die RNG over a splitmix source.
+// Call (*rand.Rand).Seed is not used; reseed through the returned
+// source.
+func newDieRand() (*splitmixSource, *rand.Rand) {
+	src := &splitmixSource{}
+	return src, rand.New(src)
+}
+
+// mix64 is the splitmix64 output finalizer: a bijective avalanche over
+// the full 64-bit state.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Seed implements rand.Source. The raw seed is passed through the
+// finalizer before becoming the counter state: subSeed strides dies by
+// a multiple of splitmix64's own golden-ratio increment, so seeding
+// with the raw value would make adjacent dies' streams one-draw-shifted
+// copies of each other (die i+1's k-th draw = die i's (k−1)-th).
+// Mixing first lands each die at an unrelated point of the state
+// space, keeping the streams decorrelated.
+func (s *splitmixSource) Seed(seed int64) { s.s = mix64(uint64(seed)) }
+
+// Uint64 implements rand.Source64.
+func (s *splitmixSource) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	return mix64(s.s)
+}
+
+// Int63 implements rand.Source.
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }

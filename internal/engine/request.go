@@ -110,25 +110,25 @@ func (s DefectMapSpec) ToMap() (*defect.Map, error) {
 			}
 		}
 	}
-	mark := func(dst []bool, idx []int, what string) error {
+	mark := func(n int, set func(int), idx []int, what string) error {
 		for _, i := range idx {
-			if i < 0 || i >= len(dst) {
-				return apierr.BadSpec("engine: %s index %d out of range [0,%d)", what, i, len(dst))
+			if i < 0 || i >= n {
+				return apierr.BadSpec("engine: %s index %d out of range [0,%d)", what, i, n)
 			}
-			dst[i] = true
+			set(i)
 		}
 		return nil
 	}
-	if err := mark(m.RowBroken, s.RowBroken, "row_broken"); err != nil {
+	if err := mark(r, func(i int) { m.SetRowBroken(i, true) }, s.RowBroken, "row_broken"); err != nil {
 		return nil, err
 	}
-	if err := mark(m.ColBroken, s.ColBroken, "col_broken"); err != nil {
+	if err := mark(c, func(i int) { m.SetColBroken(i, true) }, s.ColBroken, "col_broken"); err != nil {
 		return nil, err
 	}
-	if err := mark(m.RowBridges, s.RowBridges, "row_bridges"); err != nil {
+	if err := mark(r-1, func(i int) { m.SetRowBridge(i, true) }, s.RowBridges, "row_bridges"); err != nil {
 		return nil, err
 	}
-	if err := mark(m.ColBridges, s.ColBridges, "col_bridges"); err != nil {
+	if err := mark(c-1, func(i int) { m.SetColBridge(i, true) }, s.ColBridges, "col_bridges"); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -152,19 +152,19 @@ func FromMap(m *defect.Map) DefectMapSpec {
 		}
 		s.Rows[r] = sb.String()
 	}
-	pick := func(b []bool) []int {
+	pick := func(n int, get func(int) bool) []int {
 		var idx []int
-		for i, v := range b {
-			if v {
+		for i := 0; i < n; i++ {
+			if get(i) {
 				idx = append(idx, i)
 			}
 		}
 		return idx
 	}
-	s.RowBroken = pick(m.RowBroken)
-	s.ColBroken = pick(m.ColBroken)
-	s.RowBridges = pick(m.RowBridges)
-	s.ColBridges = pick(m.ColBridges)
+	s.RowBroken = pick(m.R, m.RowBroken)
+	s.ColBroken = pick(m.C, m.ColBroken)
+	s.RowBridges = pick(m.R-1, m.RowBridge)
+	s.ColBridges = pick(m.C-1, m.ColBridge)
 	return s
 }
 

@@ -212,9 +212,20 @@ type healthCache struct {
 	LoadedFromSnapshot uint64 `json:"loaded_from_snapshot"`
 }
 
+// healthFault summarizes the fault-tolerance path: how many dies the
+// self-mapper has placed, how many defect maps were drawn, and the mean
+// self-mapping attempts per die — the number that moves first when a
+// density or chip-size change makes repair expensive.
+type healthFault struct {
+	DiesMapped          uint64  `json:"dies_mapped"`
+	DefectMapsGenerated uint64  `json:"defect_maps_generated"`
+	MeanMapAttempts     float64 `json:"mean_map_attempts"`
+}
+
 type healthResponse struct {
 	Status string      `json:"status"`
 	Cache  healthCache `json:"cache"`
+	Fault  healthFault `json:"fault"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -225,6 +236,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Shards:             st.CacheShards,
 			Entries:            st.CacheEntries,
 			LoadedFromSnapshot: st.CacheLoaded,
+		},
+		Fault: healthFault{
+			DiesMapped:          st.DiesMapped,
+			DefectMapsGenerated: st.DefectMapsGenerated,
+			MeanMapAttempts:     st.MeanMapAttempts,
 		},
 	})
 }

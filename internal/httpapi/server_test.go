@@ -58,6 +58,72 @@ func TestHealthz(t *testing.T) {
 	if body.Cache.Entries != 0 || body.Cache.LoadedFromSnapshot != 0 {
 		t.Fatalf("cold server reports cache %+v, want empty", body.Cache)
 	}
+	if body.Fault.DiesMapped != 0 || body.Fault.DefectMapsGenerated != 0 || body.Fault.MeanMapAttempts != 0 {
+		t.Fatalf("cold server reports fault work %+v, want zeros", body.Fault)
+	}
+}
+
+// TestFaultCountersReported drives map and yield requests and checks
+// the fault-path counters surface consistently on /healthz and /stats.
+func TestFaultCountersReported(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/map", engine.Request{
+		Kind:     engine.KindMap,
+		Function: engine.FunctionSpec{Name: "maj3"},
+		Density:  0.02,
+		Seed:     1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d", resp.StatusCode)
+	}
+	const chips = 7
+	resp, _ = postJSON(t, ts.URL+"/v1/map", engine.Request{
+		Kind:     engine.KindYield,
+		Function: engine.FunctionSpec{Name: "maj3"},
+		Density:  0.02,
+		Chips:    chips,
+		Seed:     2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("yield status %d", resp.StatusCode)
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var health healthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1 + chips); health.Fault.DiesMapped != want {
+		t.Fatalf("healthz dies_mapped = %d, want %d", health.Fault.DiesMapped, want)
+	}
+	if health.Fault.DefectMapsGenerated != uint64(1+chips) {
+		t.Fatalf("healthz defect_maps_generated = %d, want %d", health.Fault.DefectMapsGenerated, 1+chips)
+	}
+	if health.Fault.MeanMapAttempts < 1 {
+		t.Fatalf("healthz mean_map_attempts = %v, want >= 1", health.Fault.MeanMapAttempts)
+	}
+
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var stats engine.Stats
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DiesMapped != health.Fault.DiesMapped ||
+		stats.DefectMapsGenerated != health.Fault.DefectMapsGenerated ||
+		stats.MeanMapAttempts != health.Fault.MeanMapAttempts {
+		t.Fatalf("stats fault counters %+v disagree with healthz %+v", stats, health.Fault)
+	}
+	if stats.MapAttempts < stats.DiesMapped {
+		t.Fatalf("map_attempts_total %d below dies_mapped %d", stats.MapAttempts, stats.DiesMapped)
+	}
 }
 
 // TestHealthzAndStatsReportPersistence covers the warm-restart

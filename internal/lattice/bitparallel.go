@@ -401,6 +401,25 @@ func (e *Evaluator) FeasiblePartial(l *Lattice, filled int, f truthtab.TT) bool 
 	return true
 }
 
+// PercolateMasks percolates one word of caller-supplied per-site
+// conduction masks (row-major, R*C words, bit t = site conducts in
+// trial t) to fixpoint — top row to bottom row, 4-connected — and
+// returns the sink mask: bit t set iff a source-to-sink path of
+// conducting sites exists in trial t. This is the entry point for
+// callers whose 64 lanes are not consecutive truth-table assignments,
+// such as redundancy's packed Monte Carlo trials; on is copied into the
+// evaluator's scratch and not modified.
+func (e *Evaluator) PercolateMasks(R, C int, on []uint64) uint64 {
+	if len(on) != R*C {
+		panic("lattice: PercolateMasks needs R*C site masks")
+	}
+	e.grow(len(on))
+	copy(e.onw[:len(on)], on)
+	sink, _ := e.runWord(R, C, false, false, 0)
+	ctrWordBlocks.Add(1)
+	return sink
+}
+
 func (e *Evaluator) growScalar(sites int) {
 	if len(e.sOn) < sites {
 		e.sOn = make([]bool, sites)

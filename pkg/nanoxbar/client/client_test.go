@@ -206,13 +206,18 @@ func TestConformanceErrorTaxonomy(t *testing.T) {
 // stream stops the sweep early with ErrCanceled on both transports.
 func TestConformanceMidSweepCancellation(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, api nanoxbar.API) {
-		const chips = 5000
+		// The sweep must be big enough that the server cannot finish it
+		// before the client observes die 3 and cancels — the bit-parallel
+		// fault path maps small dies in a few microseconds, so this uses
+		// many large dies.
+		const chips = 50000
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		var mu sync.Mutex
 		dies := 0
 		_, err := api.YieldSweep(ctx, nanoxbar.Func("maj3"),
 			nanoxbar.WithChips(chips), nanoxbar.WithDensity(0.05), nanoxbar.WithSeed(3),
+			nanoxbar.WithChipSize(64),
 			nanoxbar.OnDie(func(d nanoxbar.Die) {
 				mu.Lock()
 				dies++
