@@ -42,10 +42,11 @@ import (
 // defaultPkgs are the suites covering the synthesis/serving hot paths,
 // including the client/server round trip through the v2 HTTP protocol
 // (internal/httpapi) so serving overhead is tracked alongside raw
-// engine numbers, and the fault-tolerance path (defect-map generation,
+// engine numbers, the fault-tolerance path (defect-map generation,
 // BISM repair, transient Monte Carlo) gated since the bit-parallel
-// rewrite.
-const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine,./internal/httpapi,./internal/defect,./internal/bism,./internal/redundancy"
+// rewrite, and the telemetry substrate (histogram observation sits
+// inside the per-die loop, so its cost is gated like any hot path).
+const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine,./internal/httpapi,./internal/defect,./internal/bism,./internal/redundancy,./internal/telemetry"
 
 func main() {
 	out := flag.String("out", "BENCH_lattice.json", "output JSON path (- for stdout)")

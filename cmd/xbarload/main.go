@@ -9,7 +9,11 @@
 // It emits latency percentiles per scenario plus the server's cache
 // hit-rate delta as a JSON report in the internal/benchreport schema,
 // so the same tooling that reads BENCH_lattice.json (cmd/benchjson
-// -compare) reads soak results.
+// -compare) reads soak results. The server's GET /metrics endpoint is
+// scraped before and after the soak; the bucket deltas yield
+// server-side per-kind and per-stage latency quantiles (the
+// Soak/server pseudo-benchmark), measured without client and network
+// overhead.
 //
 // Usage:
 //
@@ -55,6 +59,7 @@ import (
 	"nanoxbar/internal/benchreport"
 	"nanoxbar/internal/engine"
 	"nanoxbar/internal/httpapi"
+	"nanoxbar/internal/telemetry"
 	"nanoxbar/pkg/nanoxbar"
 	nbclient "nanoxbar/pkg/nanoxbar/client"
 )
@@ -129,6 +134,7 @@ func main() {
 	defer stop()
 
 	res, err := soak(ctx, cl, soakConfig{
+		baseURL:     base,
 		duration:    *duration,
 		concurrency: *concurrency,
 		seed:        *seed,
@@ -244,6 +250,7 @@ func functionPool(n int, rng *rand.Rand) []nanoxbar.FunctionSpec {
 }
 
 type soakConfig struct {
+	baseURL     string
 	duration    time.Duration
 	concurrency int
 	seed        int64
@@ -272,6 +279,11 @@ type soakResult struct {
 
 	statsBefore, statsAfter nanoxbar.Stats
 	hitRate                 float64
+
+	// Scrapes of the server's /metrics endpoint bracketing the soak;
+	// nil when the endpoint is unavailable (older server). The report
+	// derives server-side latency quantiles from their bucket deltas.
+	metricsBefore, metricsAfter *telemetry.Exposition
 }
 
 func (r *soakResult) record(scenario string, d time.Duration, failed bool) {
@@ -319,6 +331,7 @@ func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult
 	if res.statsBefore, err = cl.Stats(ctx); err != nil {
 		return nil, fmt.Errorf("server not reachable: %w", err)
 	}
+	res.metricsBefore = scrapeMetrics(ctx, cfg.baseURL)
 
 	pool := functionPool(cfg.funcs, rand.New(rand.NewSource(cfg.seed)))
 	// Scenario schedule: expand the weighted mix into a deck each worker
@@ -377,12 +390,40 @@ func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult
 	if res.statsAfter, err = cl.Stats(statsCtx); err != nil {
 		return nil, fmt.Errorf("closing stats: %w", err)
 	}
+	res.metricsAfter = scrapeMetrics(statsCtx, cfg.baseURL)
 	dh := res.statsAfter.CacheHits - res.statsBefore.CacheHits
 	dm := res.statsAfter.CacheMisses - res.statsBefore.CacheMisses
 	if dh+dm > 0 {
 		res.hitRate = float64(dh) / float64(dh+dm)
 	}
 	return res, nil
+}
+
+// scrapeMetrics fetches and parses the server's /metrics exposition.
+// Any failure (endpoint missing on an older server, parse error) is
+// reported on stderr and degrades the report to client-side numbers
+// only — a soak must not fail for lack of server telemetry.
+func scrapeMetrics(ctx context.Context, base string) *telemetry.Exposition {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbarload: metrics scrape:", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "xbarload: metrics scrape: status %d (server-side quantiles omitted)\n", resp.StatusCode)
+		return nil
+	}
+	exp, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbarload: metrics scrape:", err)
+		return nil
+	}
+	return exp
 }
 
 // runOp executes one scenario call, reporting per-die observations of
@@ -525,6 +566,14 @@ func (r *soakResult) report(duration time.Duration) benchreport.Report {
 			},
 		})
 	}
+	if sm := r.serverMetrics(); len(sm) > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, benchreport.Benchmark{
+			Pkg:        "nanoxbar/cmd/xbarload",
+			Name:       "Soak/server",
+			Iterations: 1,
+			Metrics:    sm,
+		})
+	}
 	rep.Benchmarks = append(rep.Benchmarks, benchreport.Benchmark{
 		Pkg:        "nanoxbar/cmd/xbarload",
 		Name:       "Soak/cache",
@@ -540,4 +589,43 @@ func (r *soakResult) report(duration time.Duration) benchreport.Report {
 		},
 	})
 	return rep
+}
+
+// serverMetrics derives server-side latency quantiles from the
+// /metrics scrapes bracketing the soak: per-kind request duration and
+// pipeline stage histograms, subtracted bucket-wise so only the soak's
+// own observations contribute. Empty when scraping was unavailable.
+func (r *soakResult) serverMetrics() map[string]float64 {
+	if r.metricsBefore == nil || r.metricsAfter == nil {
+		return nil
+	}
+	m := make(map[string]float64)
+	delta := func(name string, labels map[string]string) *telemetry.HistogramSnapshot {
+		after, ok := r.metricsAfter.Histogram(name, labels)
+		if !ok {
+			return nil
+		}
+		before, _ := r.metricsBefore.Histogram(name, labels)
+		d, ok := after.Sub(before)
+		if !ok || d.Count == 0 {
+			return nil
+		}
+		return d
+	}
+	quantiles := func(prefix string, d *telemetry.HistogramSnapshot) {
+		m[prefix+"-p50-ns"] = d.Quantile(0.50) * 1e9
+		m[prefix+"-p99-ns"] = d.Quantile(0.99) * 1e9
+		m[prefix+"-count"] = float64(d.Count)
+	}
+	for _, kind := range []string{"synthesize", "map", "yield"} {
+		if d := delta("nanoxbar_request_duration_seconds", map[string]string{"kind": kind}); d != nil {
+			quantiles(kind, d)
+		}
+	}
+	for _, stage := range []string{"queue_wait", "cache_lookup", "die_map"} {
+		if d := delta("nanoxbar_stage_duration_seconds", map[string]string{"stage": stage}); d != nil {
+			quantiles(strings.ReplaceAll(stage, "_", "-"), d)
+		}
+	}
+	return m
 }

@@ -19,14 +19,22 @@
 //	POST /v1/synthesize  one synthesize or compare request
 //	POST /v1/map         one per-chip map or yield-sweep request
 //	POST /v1/batch       {"requests": [...]} — fan-out, results in order
-//	GET  /healthz        liveness probe + cache summary
+//	GET  /healthz        liveness probe + uptime/build + cache summary
 //	GET  /stats          engine counters (cache hits/misses, workers, ...)
+//	GET  /metrics        Prometheus text exposition (latency histograms,
+//	                     cache/fault counters, Go runtime stats)
+//
+// Every request gets a request ID — honored from the client's
+// X-Request-ID header or minted at ingress — echoed on the response,
+// stamped on v2 stream frames, and attached to every log line. Access
+// logs are structured (log/slog); -log-level debug additionally logs
+// each engine request with its stage outcome.
 //
 // Usage:
 //
 //	xbarserverd [-addr :8080] [-workers N] [-cache 1024] [-cache-shards N]
 //	            [-cache-load path] [-cache-save path] [-cache-save-interval 5m]
-//	            [-pprof]
+//	            [-log-level info] [-log-format text] [-pprof]
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +55,22 @@ import (
 	"nanoxbar/internal/httpapi"
 )
 
+// buildLogger constructs the process logger from the flag values.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text|json)", format)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
@@ -55,9 +80,20 @@ func main() {
 	cacheSave := flag.String("cache-save", "", "checkpoint the cache to this path on shutdown")
 	saveInterval := flag.Duration("cache-save-interval", 0, "also checkpoint every interval (0 = only on shutdown)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log level (debug|info|warn|error); debug logs every engine request")
+	logFormat := flag.String("log-format", "text", "log format (text|json)")
 	flag.Parse()
 
-	eng := engine.New(engine.Config{Workers: *workers, CacheSize: *cacheSize, CacheShards: *cacheShards})
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbarserverd:", err)
+		os.Exit(2)
+	}
+
+	eng := engine.New(engine.Config{
+		Workers: *workers, CacheSize: *cacheSize, CacheShards: *cacheShards,
+		Logger: logger,
+	})
 	defer eng.Close()
 
 	if *cacheLoad != "" {
@@ -71,7 +107,7 @@ func main() {
 		}
 	}
 
-	var sopts []httpapi.Option
+	sopts := []httpapi.Option{httpapi.WithLogger(logger)}
 	if *pprofOn {
 		sopts = append(sopts, httpapi.WithPprof())
 	}

@@ -245,6 +245,25 @@ func (s *shardedCache) counters() (hits, misses, evictions, loads uint64, entrie
 	return hits, misses, evictions, loads, entries
 }
 
+// cacheShardStats is one shard's statistics snapshot, consumed by the
+// metrics registry's per-shard families.
+type cacheShardStats struct {
+	hits, misses, evictions, loads uint64
+	entries                        int
+}
+
+// perShard snapshots every shard's statistics, locking one shard at a
+// time (the same consistency tradeoff as counters).
+func (s *shardedCache) perShard() []cacheShardStats {
+	out := make([]cacheShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = cacheShardStats{sh.hits, sh.misses, sh.evictions, sh.loads, sh.order.Len()}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // capacity is the summed shard capacity (≥ the requested total due to
 // per-shard rounding).
 func (s *shardedCache) capacity() int {

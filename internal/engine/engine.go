@@ -11,16 +11,19 @@ package engine
 
 import (
 	"context"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/bism"
 	"nanoxbar/internal/core"
 	"nanoxbar/internal/defect"
 	"nanoxbar/internal/lattice"
+	"nanoxbar/internal/telemetry"
 	"nanoxbar/internal/truthtab"
 )
 
@@ -35,6 +38,9 @@ type Config struct {
 	// to a power of two). Default: the smallest power of two ≥ 4×Workers,
 	// capped at 256 — enough stripes that hit traffic rarely contends.
 	CacheShards int
+	// Logger receives per-request debug logs (kind, duration, outcome,
+	// request ID when the context carries one). Nil discards.
+	Logger *slog.Logger
 }
 
 // defaultMaxAttempts bounds self-mapping effort when a request does not
@@ -62,6 +68,8 @@ type Engine struct {
 	cache   *shardedCache
 	pool    *pool
 	workers int
+	met     *engineMetrics
+	logger  *slog.Logger
 
 	requests   atomic.Uint64
 	failures   atomic.Uint64
@@ -87,12 +95,24 @@ func New(cfg Config) *Engine {
 	if cfg.CacheShards <= 0 {
 		cfg.CacheShards = defaultCacheShards(cfg.Workers)
 	}
-	return &Engine{
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	e := &Engine{
 		cache:   newShardedCache(cfg.CacheSize, cfg.CacheShards),
 		pool:    newPool(cfg.Workers),
 		workers: cfg.Workers,
+		logger:  cfg.Logger,
 	}
+	e.met = newEngineMetrics(e)
+	return e
 }
+
+// Registry exposes the engine's telemetry registry — request/stage
+// latency histograms, cache and fault-path counters, and Go runtime
+// stats — for the daemon's /metrics endpoint. The HTTP layer registers
+// its own families on the same registry.
+func (e *Engine) Registry() *telemetry.Registry { return e.met.reg }
 
 // defaultCacheShards picks the shard count for a pool of `workers`
 // goroutines: 4× oversubscription keeps the probability of two hot
@@ -131,10 +151,20 @@ func (e *Engine) synthKeyed(ctx context.Context, f truthtab.TT, tech core.Techno
 		return nil, "", false, apierr.Canceled(err)
 	}
 	key := core.CacheKey(f, tech, opts)
+	lookup := time.Now()
 	imp, err, hit := e.cache.getOrCompute(key, func() (*core.Implementation, error) {
 		e.synthCalls.Add(1)
-		return core.SynthesizeCtx(context.WithoutCancel(ctx), f, tech, opts)
+		start := time.Now()
+		imp, err := core.SynthesizeCtx(context.WithoutCancel(ctx), f, tech, opts)
+		e.met.synthesize.Observe(time.Since(start))
+		return imp, err
 	})
+	if hit {
+		// The hit path (including waiting out another request's flight)
+		// is the cache_lookup stage; a miss's time is the synthesize
+		// stage, observed inside the compute function.
+		e.met.cacheLookup.Observe(time.Since(lookup))
+	}
 	return imp, key, hit, err
 }
 
@@ -200,8 +230,10 @@ func (e *Engine) SubmitStream(ctx context.Context, reqs []Request, done func(int
 	wg.Add(len(reqs))
 	for i := range reqs {
 		i := i
+		enqueued := time.Now()
 		job := func() {
 			defer wg.Done()
+			e.met.queueWait.Observe(time.Since(enqueued))
 			var df DieFunc
 			if onDie != nil {
 				df = func(die int, mr *MapResult, err error) { onDie(i, die, mr, err) }
@@ -233,11 +265,37 @@ func (e *Engine) run(ctx context.Context, req Request, onDie DieFunc) Result {
 		return e.canceledResult(req.Kind, err)
 	}
 	e.requests.Add(1)
+	e.met.inflight.Inc()
+	start := time.Now()
 	res := e.dispatch(ctx, req, onDie)
+	elapsed := time.Since(start)
+	e.met.inflight.Dec()
+	e.met.observeRequest(req.Kind, elapsed)
 	if !res.Ok() {
 		e.failures.Add(1)
 	}
+	e.logRequest(ctx, req.Kind, elapsed, res)
 	return res
+}
+
+// logRequest emits the per-request debug log line. The Enabled check
+// keeps the cost of a disabled logger to one virtual call.
+func (e *Engine) logRequest(ctx context.Context, kind Kind, d time.Duration, res Result) {
+	if !e.logger.Enabled(ctx, slog.LevelDebug) {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("kind", string(kind)),
+		slog.Duration("duration", d),
+		slog.Bool("ok", res.Ok()),
+	}
+	if id := telemetry.RequestID(ctx); id != "" {
+		attrs = append(attrs, slog.String("request_id", id))
+	}
+	if !res.Ok() {
+		attrs = append(attrs, slog.String("code", res.Code), slog.String("error", res.Error))
+	}
+	e.logger.LogAttrs(ctx, slog.LevelDebug, "engine: request done", attrs...)
 }
 
 // dispatch routes by kind, converting panics into error results so one
@@ -364,7 +422,9 @@ func boundedAttempts(req Request) (int, error) {
 // mapOnce places imp on one chip and summarizes the recovery effort,
 // feeding the engine's fault-path counters.
 func (e *Engine) mapOnce(imp *core.Implementation, chip *defect.Map, scheme bism.Mapper, maxAttempts int, rng *rand.Rand) (*MapResult, error) {
+	start := time.Now()
 	rep, err := core.MapWithRecovery(imp, chip, scheme, maxAttempts, rng)
+	e.met.dieMap.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}

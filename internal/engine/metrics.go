@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"nanoxbar/internal/lattice"
+	"nanoxbar/internal/telemetry"
+)
+
+// Stage names of the request pipeline, the label values of
+// nanoxbar_stage_duration_seconds. Together they decompose a request's
+// wall time: how long it sat in the pool queue, how long the cache
+// lookup took (including waiting on another request's in-flight
+// synthesis), how long a cold synthesis ran, and how long each die's
+// defect draw + self-mapping took.
+const (
+	stageQueueWait   = "queue_wait"
+	stageCacheLookup = "cache_lookup"
+	stageSynthesize  = "synthesize"
+	stageDieMap      = "die_map"
+)
+
+// engineMetrics holds the engine's telemetry handles. The histograms
+// are observed on the hot path (lock-free, allocation-free); everything
+// read from existing atomics or shard counters registers as a
+// scrape-time closure so the counters are not maintained twice.
+type engineMetrics struct {
+	reg *telemetry.Registry
+
+	// reqDur indexes per-kind request latency by the same kind index
+	// the byKind counters use.
+	reqDur [4]*telemetry.Histogram
+
+	queueWait   *telemetry.Histogram
+	cacheLookup *telemetry.Histogram
+	synthesize  *telemetry.Histogram
+	dieMap      *telemetry.Histogram
+
+	inflight *telemetry.Gauge
+}
+
+// kindIndex maps a request kind onto the byKind/reqDur slot, -1 for
+// unknown kinds.
+func kindIndex(k Kind) int {
+	switch k {
+	case KindSynthesize:
+		return 0
+	case KindCompare:
+		return 1
+	case KindMap:
+		return 2
+	case KindYield:
+		return 3
+	}
+	return -1
+}
+
+// newEngineMetrics builds the engine's registry: request and stage
+// histograms (observed by the engine), counters mirrored from the
+// engine's atomics, per-shard cache families walked at scrape time, the
+// process-wide lattice evaluation counters, and the Go runtime set.
+func newEngineMetrics(e *Engine) *engineMetrics {
+	reg := telemetry.NewRegistry()
+	m := &engineMetrics{reg: reg}
+
+	for i, k := range []Kind{KindSynthesize, KindCompare, KindMap, KindYield} {
+		kind := string(k)
+		m.reqDur[i] = reg.Histogram("nanoxbar_request_duration_seconds",
+			"End-to-end request latency by kind, from worker pickup to result.",
+			"kind", kind)
+		idx := i
+		reg.CounterFunc("nanoxbar_requests_total", "Requests executed by kind.",
+			func() float64 { return float64(e.byKind[idx].Load()) }, "kind", kind)
+	}
+	m.queueWait = reg.Histogram("nanoxbar_stage_duration_seconds",
+		"Pipeline stage latency.", "stage", stageQueueWait)
+	m.cacheLookup = reg.Histogram("nanoxbar_stage_duration_seconds",
+		"Pipeline stage latency.", "stage", stageCacheLookup)
+	m.synthesize = reg.Histogram("nanoxbar_stage_duration_seconds",
+		"Pipeline stage latency.", "stage", stageSynthesize)
+	m.dieMap = reg.Histogram("nanoxbar_stage_duration_seconds",
+		"Pipeline stage latency.", "stage", stageDieMap)
+	m.inflight = reg.Gauge("nanoxbar_requests_inflight",
+		"Requests currently executing on the worker pool.")
+
+	counter := func(name, help string, v func() uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v()) })
+	}
+	counter("nanoxbar_request_failures_total", "Requests that returned an error result.", e.failures.Load)
+	counter("nanoxbar_synth_calls_total", "Underlying core.Synthesize invocations (cache misses that ran).", e.synthCalls.Load)
+	counter("nanoxbar_dies_mapped_total", "Dies placed through the self-mapper.", e.diesMapped.Load)
+	counter("nanoxbar_defect_maps_generated_total", "Random defect maps drawn.", e.defectMaps.Load)
+	counter("nanoxbar_map_attempts_total", "Self-mapping configurations spent across all dies.", e.mapAttempts.Load)
+	reg.GaugeFunc("nanoxbar_workers", "Worker pool size.",
+		func() float64 { return float64(e.workers) })
+
+	// Per-shard cache families. Each family snapshots the shards at
+	// scrape time (one mutex hop per shard), so the hot-path cache code
+	// keeps its existing plain counters.
+	cacheFamily := func(name, help, typ string, v func(cacheShardStats) float64) {
+		reg.Collect(name, help, typ, func(emit func(string, float64)) {
+			for i, st := range e.cache.perShard() {
+				emit(telemetry.Label("shard", strconv.Itoa(i)), v(st))
+			}
+		})
+	}
+	cacheFamily("nanoxbar_cache_hits_total", "Cache hits by shard.", "counter",
+		func(st cacheShardStats) float64 { return float64(st.hits) })
+	cacheFamily("nanoxbar_cache_misses_total", "Cache misses by shard.", "counter",
+		func(st cacheShardStats) float64 { return float64(st.misses) })
+	cacheFamily("nanoxbar_cache_evictions_total", "Cache evictions by shard.", "counter",
+		func(st cacheShardStats) float64 { return float64(st.evictions) })
+	cacheFamily("nanoxbar_cache_loaded_total", "Cache entries seeded from a snapshot, by shard.", "counter",
+		func(st cacheShardStats) float64 { return float64(st.loads) })
+	cacheFamily("nanoxbar_cache_entries", "Live cache entries by shard.", "gauge",
+		func(st cacheShardStats) float64 { return float64(st.entries) })
+
+	// Process-wide lattice evaluation counters — the synthesis hot
+	// path's work units, already tracked by internal/lattice.
+	reg.CounterFunc("nanoxbar_lattice_scalar_evals_total",
+		"Assignments walked by scalar lattice evaluation.",
+		func() float64 { return float64(lattice.CounterSnapshot().ScalarEvals) })
+	reg.CounterFunc("nanoxbar_lattice_fast_functions_total",
+		"Bit-parallel function expansions.",
+		func() float64 { return float64(lattice.CounterSnapshot().FastFunctions) })
+	reg.CounterFunc("nanoxbar_lattice_fast_implements_total",
+		"Bit-parallel Implements/feasibility checks.",
+		func() float64 { return float64(lattice.CounterSnapshot().FastImplements) })
+	reg.CounterFunc("nanoxbar_lattice_word_blocks_total",
+		"64-assignment word blocks percolated.",
+		func() float64 { return float64(lattice.CounterSnapshot().WordBlocks) })
+
+	telemetry.RegisterGoMetrics(reg)
+	return m
+}
+
+// observeRequest records one completed request of kind k.
+func (m *engineMetrics) observeRequest(k Kind, d time.Duration) {
+	if i := kindIndex(k); i >= 0 {
+		m.reqDur[i].Observe(d)
+	}
+}

@@ -18,11 +18,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/engine"
+	"nanoxbar/internal/telemetry"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is
@@ -36,19 +39,36 @@ const maxBatchSize = 10000
 
 // Server routes the HTTP API onto an engine.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	eng    *engine.Engine
+	mux    *http.ServeMux
+	reg    *telemetry.Registry
+	logger *slog.Logger
+	start  time.Time
 }
 
-// New builds the production handler over eng.
+// New builds the production handler over eng. Every route is wrapped in
+// the ingress middleware (request-ID propagation, per-route metrics,
+// access log — see telemetry.go); the server's HTTP metric families
+// join the engine's registry so GET /metrics is one scrape.
 func New(eng *engine.Engine, opts ...Option) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/synthesize", s.handleSingle(engine.KindSynthesize, engine.KindCompare))
-	s.mux.HandleFunc("/v1/map", s.handleSingle(engine.KindMap, engine.KindYield))
-	s.mux.HandleFunc("/v1/batch", s.handleBatch)
-	s.mux.HandleFunc("/v2/jobs", s.handleJobs)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	s := &Server{
+		eng:    eng,
+		mux:    http.NewServeMux(),
+		reg:    eng.Registry(),
+		logger: slog.New(slog.DiscardHandler),
+		start:  time.Now(),
+	}
+	handle := func(path string, h http.HandlerFunc) {
+		s.mux.HandleFunc(path, s.instrument(path, h))
+	}
+	handle("/v1/synthesize", s.handleSingle(engine.KindSynthesize, engine.KindCompare))
+	handle("/v1/map", s.handleSingle(engine.KindMap, engine.KindYield))
+	handle("/v1/batch", s.handleBatch)
+	handle("/v2/jobs", s.handleJobs)
+	handle("/healthz", requireGET(s.handleHealthz))
+	handle("/stats", requireGET(s.handleStats))
+	handle("/metrics", requireGET(s.handleMetrics))
+	s.registerServerMetrics()
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -57,6 +77,16 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 
 // Option configures the server.
 type Option func(*Server)
+
+// WithLogger routes the server's structured access logs (and anything
+// the middleware logs) to l. Default: discard.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
 
 // WithPprof mounts the net/http/pprof profiling handlers under
 // /debug/pprof/. Off by default: the profiler exposes internals and
@@ -223,15 +253,22 @@ type healthFault struct {
 }
 
 type healthResponse struct {
-	Status string      `json:"status"`
-	Cache  healthCache `json:"cache"`
-	Fault  healthFault `json:"fault"`
+	Status string `json:"status"`
+	// UptimeSeconds and Build identify the process: an orchestrator
+	// probe can tell a restart (uptime reset) or a version skew from the
+	// health check alone.
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Build         buildDetails `json:"build"`
+	Cache         healthCache  `json:"cache"`
+	Fault         healthFault  `json:"fault"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status: "ok",
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         buildInfo(),
 		Cache: healthCache{
 			Shards:             st.CacheShards,
 			Entries:            st.CacheEntries,

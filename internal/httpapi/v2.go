@@ -8,6 +8,7 @@ import (
 
 	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/engine"
+	"nanoxbar/internal/telemetry"
 	"nanoxbar/pkg/nanoxbar"
 )
 
@@ -30,22 +31,26 @@ func v2Error(w http.ResponseWriter, status int, code, format string, args ...any
 }
 
 // eventStream serializes NDJSON events onto one response, flushing
-// after every line so clients observe results as they complete.
+// after every line so clients observe results as they complete. Every
+// frame is stamped with the stream's request ID, so a single frame
+// fished out of a log pipeline still names the request it belongs to.
 type eventStream struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	fl  http.Flusher
-	err bool // a write failed (client gone); drop further events
+	mu    sync.Mutex
+	enc   *json.Encoder
+	fl    http.Flusher
+	reqID string
+	err   bool // a write failed (client gone); drop further events
 }
 
-func newEventStream(w http.ResponseWriter) *eventStream {
+func newEventStream(w http.ResponseWriter, reqID string) *eventStream {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	fl, _ := w.(http.Flusher)
-	return &eventStream{enc: enc, fl: fl}
+	return &eventStream{enc: enc, fl: fl, reqID: reqID}
 }
 
 func (es *eventStream) send(ev nanoxbar.Event) {
+	ev.RequestID = es.reqID
 	es.mu.Lock()
 	defer es.mu.Unlock()
 	if es.err {
@@ -89,7 +94,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(http.StatusOK)
-	es := newEventStream(w)
+	es := newEventStream(w, telemetry.RequestID(r.Context()))
 
 	var errs int
 	var errMu sync.Mutex

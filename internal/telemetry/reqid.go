@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Request-ID propagation. A request ID is minted at ingress (or honored
+// from the caller's X-Request-ID header), carried through context into
+// engine jobs, echoed on responses and v2 stream frames, and stamped on
+// every structured log line — one string ties a client retry, a server
+// log, and a metrics anomaly together.
+
+// ctxKey is the private context key type for request IDs.
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying id. An empty id returns ctx
+// unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// NewRequestID mints a 16-hex-character random ID.
+func NewRequestID() string {
+	var b [8]byte
+	// crypto/rand.Read never fails on supported platforms (it aborts
+	// the process instead); the error return is vestigial.
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// maxRequestIDLen bounds an accepted client-supplied ID: long enough
+// for a UUID or a W3C trace ID, short enough that a hostile header
+// cannot bloat every log line and stream frame.
+const maxRequestIDLen = 64
+
+// SanitizeRequestID validates a client-supplied request ID: at most 64
+// bytes of printable ASCII excluding '"' and '\' (so it can be embedded
+// in JSON logs and exposition labels without escaping surprises).
+// Anything else returns "", telling the caller to mint a fresh ID.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c < 0x21 || c > 0x7e || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Go runtime observability, sampled from runtime/metrics at scrape
+// time. The sampled set is small and fixed: the quantities an operator
+// watches to tell "the engine is slow" from "the process is unhealthy"
+// — goroutine count (leak detection), live heap (cache sizing), GC
+// cycle count, and the stop-the-world pause distribution.
+var runtimeSamples = []struct {
+	name string // runtime/metrics key
+	fam  string // exposition family name
+	help string
+	typ  string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines.", typeGauge},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of live heap objects.", typeGauge},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime.", typeGauge},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles.", typeCounter},
+	{"/sched/pauses/total/gc:seconds", "go_gc_pause_seconds", "Distribution of stop-the-world GC pause latencies.", typeHistogram},
+}
+
+// RegisterGoMetrics registers the runtime families onto reg. Metrics
+// the running toolchain does not support are skipped rather than
+// rendered as zeros.
+func RegisterGoMetrics(reg *Registry) {
+	descs := metrics.All()
+	supported := make(map[string]metrics.ValueKind, len(descs))
+	for _, d := range descs {
+		supported[d.Name] = d.Kind
+	}
+	for _, rs := range runtimeSamples {
+		kind, ok := supported[rs.name]
+		if !ok || kind == metrics.KindBad {
+			continue
+		}
+		name := rs.name // capture per iteration
+		switch rs.typ {
+		case typeHistogram:
+			reg.CollectHistogram(rs.fam, rs.help, runtimeHistogram(name))
+		case typeCounter:
+			reg.CounterFunc(rs.fam, rs.help, runtimeValue(name))
+		default:
+			reg.GaugeFunc(rs.fam, rs.help, runtimeValue(name))
+		}
+	}
+}
+
+// runtimeValue samples one scalar runtime metric.
+func runtimeValue(name string) func() float64 {
+	return func() float64 {
+		sample := []metrics.Sample{{Name: name}}
+		metrics.Read(sample)
+		switch sample[0].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(sample[0].Value.Uint64())
+		case metrics.KindFloat64:
+			return sample[0].Value.Float64()
+		}
+		return 0
+	}
+}
+
+// runtimeHistogram snapshots a runtime Float64Histogram into the
+// CollectHistogram shape. The runtime's own buckets are used as-is
+// (they are already log-spaced); the sum is approximated from bucket
+// midpoints, since the runtime does not track an exact one.
+func runtimeHistogram(name string) func() ([]float64, []uint64, float64, bool) {
+	return func() ([]float64, []uint64, float64, bool) {
+		sample := []metrics.Sample{{Name: name}}
+		metrics.Read(sample)
+		if sample[0].Value.Kind() != metrics.KindFloat64Histogram {
+			return nil, nil, 0, false
+		}
+		h := sample[0].Value.Float64Histogram()
+		if h == nil || len(h.Buckets) != len(h.Counts)+1 {
+			return nil, nil, 0, false
+		}
+		var bounds []float64
+		counts := make([]uint64, 0, len(h.Counts)+1)
+		var sum float64
+		var overflow uint64
+		for i, n := range h.Counts {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			mid := (lo + hi) / 2
+			if math.IsInf(lo, -1) {
+				mid = hi
+			}
+			if math.IsInf(hi, 1) {
+				mid = lo
+			}
+			sum += float64(n) * mid
+			if math.IsInf(hi, 1) {
+				overflow += n
+				continue
+			}
+			bounds = append(bounds, hi)
+			counts = append(counts, n)
+		}
+		counts = append(counts, overflow)
+		return bounds, counts, sum, true
+	}
+}

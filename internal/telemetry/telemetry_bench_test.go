@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve pins the cost of the hot-path observation:
+// it sits inside the per-die mapping loop (~3µs/die), so it must stay
+// in the tens of nanoseconds with zero allocations. Gated in CI via
+// cmd/benchjson.
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_latency_seconds", "x", "kind", "map")
+	d := 3127 * time.Nanosecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(d)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures contention across
+// GOMAXPROCS observers sharing one histogram — the yield-sweep shape,
+// where every worker's die observations land in the same series.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_parallel_seconds", "x")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 3127 * time.Nanosecond
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}
+
+// BenchmarkCounterAdd pins the counter hot path.
+func BenchmarkCounterAdd(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_ops_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkWriteText measures a full scrape over a registry shaped like
+// the production one (a dozen histograms, a few dozen scalar series) —
+// the cold path, but it runs on every /metrics poll.
+func BenchmarkWriteText(b *testing.B) {
+	reg := NewRegistry()
+	for _, kind := range []string{"synthesize", "compare", "map", "yield"} {
+		h := reg.Histogram("bench_request_seconds", "x", "kind", kind)
+		for i := 0; i < 1000; i++ {
+			h.Observe(time.Duration(i) * time.Microsecond)
+		}
+	}
+	for _, stage := range []string{"queue_wait", "cache_lookup", "synthesize", "die_map"} {
+		reg.Histogram("bench_stage_seconds", "x", "stage", stage).Observe(time.Millisecond)
+	}
+	var n atomic.Uint64
+	for i := 0; i < 32; i++ {
+		reg.CounterFunc("bench_sampled_total", "x", func() float64 { return float64(n.Load()) },
+			"shard", string(rune('a'+i)))
+	}
+	RegisterGoMetrics(reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -128,6 +128,7 @@ func (c *Client) Stats(ctx context.Context) (nanoxbar.Stats, error) {
 	if err != nil {
 		return st, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
 	}
+	setRequestID(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return st, c.transportErr(ctx, err)
@@ -197,6 +198,7 @@ func (c *Client) Jobs(ctx context.Context, jobs nanoxbar.JobsRequest, handle fun
 		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	setRequestID(httpReq)
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return c.transportErr(ctx, err)
@@ -236,6 +238,16 @@ func (c *Client) Jobs(ctx context.Context, jobs nanoxbar.JobsRequest, handle fun
 		return c.transportErr(ctx, err)
 	}
 	return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, "client: stream ended without done event")
+}
+
+// setRequestID forwards the request ID carried by the request context
+// (nanoxbar.ContextWithRequestID) as the X-Request-ID header. The
+// server echoes it on the response and its log lines; absent an ID, the
+// server mints one.
+func setRequestID(req *http.Request) {
+	if id := nanoxbar.RequestIDFromContext(req.Context()); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
 }
 
 // transportErr classifies a transport failure: cancellation keeps its

@@ -10,7 +10,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -239,4 +241,82 @@ func TestConformanceMidSweepCancellation(t *testing.T) {
 			t.Fatalf("observed all %d dies despite cancellation", dies)
 		}
 	})
+}
+
+// lockedBuf is a goroutine-safe log sink for the request-ID scenario.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestConformanceRequestID: a request ID placed in the context is
+// observable on both transports — it appears in the engine's debug log
+// either way, and the HTTP transport additionally forwards it as the
+// X-Request-ID header so it lands in the server's access log and on
+// every v2 stream frame.
+func TestConformanceRequestID(t *testing.T) {
+	const reqID = "conformance-req-7f3a"
+
+	logged := map[string]*lockedBuf{"inprocess": {}, "http": {}}
+	logger := func(name string) *slog.Logger {
+		return slog.New(slog.NewJSONHandler(logged[name], &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	local := nanoxbar.NewClient(nanoxbar.ClientConfig{Workers: 4, CacheSize: 64, Logger: logger("inprocess")})
+	t.Cleanup(func() { local.Close() })
+
+	eng := engine.New(engine.Config{Workers: 4, CacheSize: 64, Logger: logger("http")})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(httpapi.New(eng, httpapi.WithLogger(logger("http"))))
+	t.Cleanup(ts.Close)
+	remote := client.New(ts.URL)
+	t.Cleanup(func() { remote.Close() })
+
+	for name, api := range map[string]nanoxbar.API{"inprocess": local, "http": remote} {
+		t.Run(name, func(t *testing.T) {
+			ctx := nanoxbar.ContextWithRequestID(context.Background(), reqID)
+			if got := nanoxbar.RequestIDFromContext(ctx); got != reqID {
+				t.Fatalf("context round-trip: %q", got)
+			}
+			if _, err := api.Map(ctx, nanoxbar.Func("maj3"),
+				nanoxbar.WithSeed(11), nanoxbar.WithDensity(0.02)); err != nil {
+				t.Fatal(err)
+			}
+			if out := logged[name].String(); !strings.Contains(out, reqID) {
+				t.Fatalf("%s logs do not contain the request ID:\n%s", name, out)
+			}
+		})
+	}
+
+	// The HTTP transport's stream frames carry the ID end to end: drive
+	// the raw Jobs API and inspect the events the client hands back.
+	ctx := nanoxbar.ContextWithRequestID(context.Background(), reqID)
+	frames := 0
+	err := remote.Jobs(ctx, nanoxbar.JobsRequest{
+		Requests: []nanoxbar.Request{{Kind: nanoxbar.KindSynthesize,
+			Function: nanoxbar.Func("maj3")}},
+	}, func(ev nanoxbar.Event) {
+		frames++
+		if ev.RequestID != reqID {
+			t.Fatalf("frame %d request_id %q, want %q", frames, ev.RequestID, reqID)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames == 0 {
+		t.Fatal("no frames observed")
+	}
 }

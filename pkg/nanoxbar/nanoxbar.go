@@ -30,6 +30,7 @@ package nanoxbar
 
 import (
 	"context"
+	"log/slog"
 
 	"nanoxbar/internal/engine"
 )
@@ -62,6 +63,10 @@ type ClientConfig struct {
 	Workers int
 	// CacheSize bounds the synthesis LRU entry count (default 1024).
 	CacheSize int
+	// Logger receives the engine's per-request debug logs (kind,
+	// duration, outcome, request ID when the context carries one — see
+	// ContextWithRequestID). Nil discards.
+	Logger *slog.Logger
 }
 
 // Client is the in-process implementation of API: it embeds the
@@ -75,7 +80,11 @@ var _ API = (*Client)(nil)
 
 // NewClient starts an in-process client.
 func NewClient(cfg ClientConfig) *Client {
-	return &Client{eng: engine.New(engine.Config{Workers: cfg.Workers, CacheSize: cfg.CacheSize})}
+	return &Client{eng: engine.New(engine.Config{
+		Workers:   cfg.Workers,
+		CacheSize: cfg.CacheSize,
+		Logger:    cfg.Logger,
+	})}
 }
 
 // Close stops the engine's worker pool after draining queued work. No

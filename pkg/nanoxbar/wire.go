@@ -41,6 +41,10 @@ const (
 type Event struct {
 	Type  string `json:"type"`
 	Index int    `json:"index,omitempty"` // request index, for result/error/die
+	// RequestID is the server-assigned (or client-supplied, via the
+	// X-Request-ID header) ID of the HTTP request carrying this stream;
+	// identical on every frame, and the same value the server logs.
+	RequestID string `json:"request_id,omitempty"`
 	// Die fields (Type == EventDie). DieMap is nil when the die itself
 	// failed; DieError carries that failure.
 	Die      int         `json:"die,omitempty"`
