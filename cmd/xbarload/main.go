@@ -33,9 +33,20 @@
 //
 //	go run -race ./cmd/xbarload -duration 5s -seed 1 -out soak.json
 //
+// -chaos turns the soak into a resilience test: the client's transport
+// injects seeded faults (dropped connections, 5xx bursts, latency
+// spikes, truncated NDJSON frames) and the client runs with retries and
+// a circuit breaker enabled. Failures that surface typed — overloaded,
+// unavailable, canceled, or a chaos-synthesized 500 — are expected and
+// counted (the Soak/chaos pseudo-benchmark); anything untyped, and any
+// server panic observed in /metrics, fails the run. Against the
+// in-process server the injected-fault and client retry/breaker
+// counters are bridged into GET /metrics.
+//
 // Exit status 1 when any request fails unexpectedly (cancellations the
 // driver itself issued are expected; unsuccessful-but-valid mapping
-// outcomes are results, not failures).
+// outcomes are results, not failures; typed chaos failures under
+// -chaos likewise).
 package main
 
 import (
@@ -59,6 +70,7 @@ import (
 	"nanoxbar/internal/benchreport"
 	"nanoxbar/internal/engine"
 	"nanoxbar/internal/httpapi"
+	"nanoxbar/internal/resilience"
 	"nanoxbar/internal/telemetry"
 	"nanoxbar/pkg/nanoxbar"
 	nbclient "nanoxbar/pkg/nanoxbar/client"
@@ -99,6 +111,7 @@ func main() {
 	out := flag.String("out", "-", "report path (- for stdout)")
 	workers := flag.Int("workers", 0, "in-process server worker pool size (0 = NumCPU)")
 	cacheSize := flag.Int("cache", 1024, "in-process server cache entries")
+	chaos := flag.Bool("chaos", false, "inject seeded transport faults and assert every failure is typed")
 	flag.Parse()
 
 	mix, err := parseMix(*mixSpec)
@@ -116,6 +129,7 @@ func main() {
 	}
 
 	base := *addr
+	var inproc *inprocServer
 	if base == "" {
 		srv, err := startInProcessServer(*workers, *cacheSize)
 		if err != nil {
@@ -123,12 +137,42 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.close()
+		inproc = srv
 		base = srv.url
 		fmt.Fprintf(os.Stderr, "xbarload: in-process server at %s\n", base)
 	}
 
-	cl := nbclient.New(base)
+	// Under -chaos the client speaks through a fault-injecting transport
+	// and defends itself with the stock retry/breaker configuration —
+	// the point of the soak is that this combination never produces an
+	// untyped failure.
+	var chaosT *resilience.ChaosTransport
+	var clOpts []nbclient.Option
+	if *chaos {
+		chaosT = resilience.NewChaosTransport(nil, resilience.ChaosConfig{
+			Seed:         *seed,
+			DropRate:     0.03,
+			ErrorRate:    0.05,
+			LatencyRate:  0.05,
+			LatencyMin:   time.Millisecond,
+			LatencyMax:   5 * time.Millisecond,
+			TruncateRate: 0.02,
+		})
+		clOpts = append(clOpts,
+			nbclient.WithHTTPClient(&http.Client{Transport: chaosT}),
+			// Six attempts outlast the longest 5xx burst (three
+			// responses) with room for an adjacent drop, so the control
+			// calls bracketing the soak (Stats, /metrics) survive chaos.
+			nbclient.WithResilience(nbclient.ResilienceConfig{
+				Seed:  *seed,
+				Retry: resilience.RetryPolicy{MaxAttempts: 6},
+			}))
+	}
+	cl := nbclient.New(base, clOpts...)
 	defer cl.Close()
+	if *chaos && inproc != nil {
+		bridgeChaosMetrics(inproc.eng.Registry(), chaosT, cl)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -144,6 +188,7 @@ func main() {
 		chips:       *chips,
 		density:     *density,
 		maxAttempts: *maxAttempts,
+		chaos:       *chaos,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xbarload:", err)
@@ -151,15 +196,123 @@ func main() {
 	}
 
 	rep := res.report(*duration)
+	if *chaos {
+		rep.Benchmarks = append(rep.Benchmarks, chaosBenchmark(chaosT, cl, res))
+	}
 	if err := benchreport.WriteFile(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "xbarload:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "xbarload: %d ops (%d failed, %d cancel-scenario), cache hit rate %.3f\n",
-		res.totalOps(), res.failures(), res.counts[scCancel], res.hitRate)
+	fmt.Fprintf(os.Stderr, "xbarload: %d ops (%d failed, %d typed-chaos, %d cancel-scenario), cache hit rate %.3f\n",
+		res.totalOps(), res.failures(), res.chaosTypedTotal(), res.counts[scCancel], res.hitRate)
+	if *chaos {
+		if panics, ok := serverPanics(res.metricsAfter); !ok {
+			fmt.Fprintln(os.Stderr, "xbarload: chaos: could not read the server panic counter from /metrics")
+			os.Exit(1)
+		} else if panics > 0 {
+			fmt.Fprintf(os.Stderr, "xbarload: chaos: server recovered %d panic(s) during the soak\n", int(panics))
+			os.Exit(1)
+		}
+	}
 	if res.failures() > 0 {
 		os.Exit(1)
 	}
+}
+
+// expectedChaosFailure reports whether an op error is an acceptable
+// outcome under fault injection: a typed shed/unavailability/
+// cancellation, or the internal error decoded from a chaos-synthesized
+// 500 (recognizable by its message). Anything else is a real bug — an
+// untyped error leaking through the taxonomy.
+func expectedChaosFailure(err error) bool {
+	if errors.Is(err, nanoxbar.ErrOverloaded) ||
+		errors.Is(err, nanoxbar.ErrUnavailable) ||
+		errors.Is(err, nanoxbar.ErrCanceled) {
+		return true
+	}
+	return errors.Is(err, nanoxbar.ErrInternal) && strings.Contains(err.Error(), "chaos: injected")
+}
+
+// bridgeChaosMetrics exposes the chaos transport's injected-fault
+// counters and the client's retry/breaker counters through the
+// in-process server's registry, so the soak's /metrics scrapes (and a
+// human watching the endpoint) see the failure plumbing working.
+func bridgeChaosMetrics(reg *telemetry.Registry, ct *resilience.ChaosTransport, cl *nbclient.Client) {
+	faults := map[string]func(resilience.ChaosStats) uint64{
+		"drop":     func(s resilience.ChaosStats) uint64 { return s.Drops },
+		"error5xx": func(s resilience.ChaosStats) uint64 { return s.Errors5xx },
+		"latency":  func(s resilience.ChaosStats) uint64 { return s.Latencies },
+		"truncate": func(s resilience.ChaosStats) uint64 { return s.Truncations },
+	}
+	for fault, get := range faults {
+		get := get
+		reg.CounterFunc("nanoxbar_chaos_faults_total",
+			"Faults injected by the xbarload chaos transport.",
+			func() float64 { return float64(get(ct.Stats())) }, "fault", fault)
+	}
+	stats := func() (nbclient.ResilienceStats, bool) { return cl.ResilienceStats() }
+	reg.CounterFunc("nanoxbar_client_retries_total",
+		"Retries the soak client issued against injected faults.",
+		func() float64 {
+			st, _ := stats()
+			return float64(st.Retry.Retries)
+		})
+	reg.CounterFunc("nanoxbar_client_retry_exhausted_total",
+		"Soak client calls that failed after exhausting their retry budget.",
+		func() float64 {
+			st, _ := stats()
+			return float64(st.Retry.Exhausted)
+		})
+	reg.CounterFunc("nanoxbar_client_breaker_opens_total",
+		"Circuit-breaker open transitions across the soak client's endpoints.",
+		func() float64 {
+			st, _ := stats()
+			var n uint64
+			for _, b := range st.Breakers {
+				n += b.Opens
+			}
+			return float64(n)
+		})
+}
+
+// chaosBenchmark shapes the chaos soak's fault and resilience counters
+// as a pseudo-benchmark so soak reports diff cleanly across runs.
+func chaosBenchmark(ct *resilience.ChaosTransport, cl *nbclient.Client, res *soakResult) benchreport.Benchmark {
+	cs := ct.Stats()
+	m := map[string]float64{
+		"requests":       float64(cs.Requests),
+		"drops":          float64(cs.Drops),
+		"errors-5xx":     float64(cs.Errors5xx),
+		"latency-spikes": float64(cs.Latencies),
+		"truncations":    float64(cs.Truncations),
+		"typed-failures": float64(res.chaosTypedTotal()),
+	}
+	if st, ok := cl.ResilienceStats(); ok {
+		m["retries"] = float64(st.Retry.Retries)
+		m["retry-exhausted"] = float64(st.Retry.Exhausted)
+		var opens, rejections uint64
+		for _, b := range st.Breakers {
+			opens += b.Opens
+			rejections += b.Rejections
+		}
+		m["breaker-opens"] = float64(opens)
+		m["breaker-rejections"] = float64(rejections)
+	}
+	return benchreport.Benchmark{
+		Pkg:        "nanoxbar/cmd/xbarload",
+		Name:       "Soak/chaos",
+		Iterations: 1,
+		Metrics:    m,
+	}
+}
+
+// serverPanics reads the recovered-panic counter from the closing
+// /metrics scrape; ok is false when the scrape or series is missing.
+func serverPanics(exp *telemetry.Exposition) (float64, bool) {
+	if exp == nil {
+		return 0, false
+	}
+	return exp.Value("nanoxbar_http_panics_total", nil)
 }
 
 // inprocServer is the self-hosted serving stack for -addr "".
@@ -260,6 +413,7 @@ type soakConfig struct {
 	chips       int
 	density     float64
 	maxAttempts int
+	chaos       bool
 }
 
 // soakResult aggregates per-scenario latencies and outcome counters.
@@ -268,6 +422,9 @@ type soakResult struct {
 	latencies map[string][]time.Duration
 	counts    map[string]int // completed ops per scenario
 	failed    map[string]int // unexpected errors per scenario
+	// chaosTyped counts ops that failed typed under -chaos — expected
+	// casualties of fault injection, not failures.
+	chaosTyped map[string]int
 
 	// Per-die observations from completed yield sweeps: the client-side
 	// inter-arrival latency of streamed die events (gaps between
@@ -294,6 +451,22 @@ func (r *soakResult) record(scenario string, d time.Duration, failed bool) {
 	if failed {
 		r.failed[scenario]++
 	}
+}
+
+func (r *soakResult) recordChaosTyped(scenario string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chaosTyped[scenario]++
+}
+
+func (r *soakResult) chaosTypedTotal() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.chaosTyped {
+		n += c
+	}
+	return n
 }
 
 func (r *soakResult) recordDies(lats []time.Duration, attempts, dies int64) {
@@ -323,9 +496,10 @@ func (r *soakResult) failures() int {
 // soak runs the workload until the duration elapses or ctx is canceled.
 func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult, error) {
 	res := &soakResult{
-		latencies: make(map[string][]time.Duration),
-		counts:    make(map[string]int),
-		failed:    make(map[string]int),
+		latencies:  make(map[string][]time.Duration),
+		counts:     make(map[string]int),
+		failed:     make(map[string]int),
+		chaosTyped: make(map[string]int),
 	}
 	var err error
 	if res.statsBefore, err = cl.Stats(ctx); err != nil {
@@ -375,8 +549,15 @@ func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult
 					// The soak window closed mid-call; not a data point.
 					return
 				}
-				res.record(scenario, elapsed, opErr != nil)
-				if opErr != nil {
+				failed := opErr != nil
+				if failed && cfg.chaos && expectedChaosFailure(opErr) {
+					// An injected fault surfaced typed — the contract the
+					// chaos soak exists to check. Counted, not failed.
+					failed = false
+					res.recordChaosTyped(scenario)
+				}
+				res.record(scenario, elapsed, failed)
+				if failed {
 					fmt.Fprintf(os.Stderr, "xbarload: worker %d op %d (%s): %v\n", w, op, scenario, opErr)
 				}
 			}

@@ -24,6 +24,12 @@
 //	GET  /metrics        Prometheus text exposition (latency histograms,
 //	                     cache/fault counters, Go runtime stats)
 //
+// SIGINT and SIGTERM both shut down gracefully: the server stops
+// admitting work (503 + Retry-After on the work routes; health and
+// metrics stay up), lets in-flight requests and NDJSON streams finish
+// (bounded at 10s), logs the drain duration, and checkpoints the cache
+// after the drain so the snapshot holds every completed synthesis.
+//
 // Every request gets a request ID — honored from the client's
 // X-Request-ID header or minted at ingress — echoed on the response,
 // stamped on v2 stream frames, and attached to every log line. Access
@@ -111,9 +117,10 @@ func main() {
 	if *pprofOn {
 		sopts = append(sopts, httpapi.WithPprof())
 	}
+	api := httpapi.New(eng, sopts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(eng, sopts...),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 		// No blanket write timeout: large yield sweeps legitimately run
 		// long. The per-request bound is the scheme's MaxAttempts, and
@@ -172,9 +179,19 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
+	// SIGINT and SIGTERM take the same graceful path: mark the handler
+	// draining first so new work is rejected typed (503 + Retry-After)
+	// while in-flight requests — including open NDJSON streams — run to
+	// completion, then close the listener and wait for them.
+	drainStart := time.Now()
+	api.Drain()
+	logger.Info("draining", "reason", "signal")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	err = srv.Shutdown(shutdownCtx)
+	logger.Info("drained", "duration", time.Since(drainStart).String(),
+		"complete", err == nil)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "xbarserverd: shutdown:", err)
 	}
 	// Final checkpoint after the listener has drained (and the interval

@@ -13,6 +13,12 @@
 //     minimization budget exhausted).
 //   - ErrCanceled: the caller's context was canceled or timed out
 //     before the work completed.
+//   - ErrOverloaded: the service is healthy but shed the request under
+//     load (queue full past its wait budget, concurrency limit hit).
+//     Retry later, ideally after the server's Retry-After hint.
+//   - ErrUnavailable: the service cannot currently be reached or is
+//     refusing new work (draining for shutdown, connection failures,
+//     an open client-side circuit breaker).
 //   - ErrInternal: everything else (bugs, panics).
 //
 // All constructors return a *Error that wraps one of the sentinels, so
@@ -28,19 +34,23 @@ import (
 
 // Sentinel errors of the taxonomy. Compare with errors.Is.
 var (
-	ErrBadSpec    = errors.New("bad request spec")
-	ErrInfeasible = errors.New("infeasible")
-	ErrCanceled   = errors.New("canceled")
-	ErrInternal   = errors.New("internal error")
+	ErrBadSpec     = errors.New("bad request spec")
+	ErrInfeasible  = errors.New("infeasible")
+	ErrCanceled    = errors.New("canceled")
+	ErrOverloaded  = errors.New("overloaded")
+	ErrUnavailable = errors.New("unavailable")
+	ErrInternal    = errors.New("internal error")
 )
 
 // Wire codes, one per sentinel. They travel in JSON error bodies and in
 // engine results so remote callers can reconstruct the sentinel.
 const (
-	CodeBadSpec    = "bad_spec"
-	CodeInfeasible = "infeasible"
-	CodeCanceled   = "canceled"
-	CodeInternal   = "internal"
+	CodeBadSpec     = "bad_spec"
+	CodeInfeasible  = "infeasible"
+	CodeCanceled    = "canceled"
+	CodeOverloaded  = "overloaded"
+	CodeUnavailable = "unavailable"
+	CodeInternal    = "internal"
 )
 
 // Error is a classified failure: one of the taxonomy sentinels plus
@@ -78,6 +88,15 @@ func Infeasible(format string, args ...any) error { return wrap(ErrInfeasible, f
 // Internal classifies an unexpected failure.
 func Internal(format string, args ...any) error { return wrap(ErrInternal, format, args...) }
 
+// Overloaded classifies a request shed under load: the service is
+// healthy but declined the work rather than queue it indefinitely.
+func Overloaded(format string, args ...any) error { return wrap(ErrOverloaded, format, args...) }
+
+// Unavailable classifies a service that cannot take the request at all:
+// draining for shutdown, unreachable over the network, or fenced off by
+// an open circuit breaker.
+func Unavailable(format string, args ...any) error { return wrap(ErrUnavailable, format, args...) }
+
 // Canceled classifies a context failure, keeping the original cause
 // (context.Canceled or context.DeadlineExceeded) in the detail.
 func Canceled(cause error) error {
@@ -101,6 +120,10 @@ func CodeOf(err error) string {
 		return CodeCanceled
 	case errors.Is(err, ErrInfeasible):
 		return CodeInfeasible
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrUnavailable):
+		return CodeUnavailable
 	default:
 		return CodeInternal
 	}
@@ -120,6 +143,10 @@ func FromCode(code, detail string) error {
 		sentinel = ErrInfeasible
 	case CodeCanceled:
 		sentinel = ErrCanceled
+	case CodeOverloaded:
+		sentinel = ErrOverloaded
+	case CodeUnavailable:
+		sentinel = ErrUnavailable
 	default:
 		sentinel = ErrInternal
 	}

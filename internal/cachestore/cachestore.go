@@ -290,6 +290,16 @@ func Save(path, fingerprint string, entries []Entry) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("cachestore: save: rename: %w", err)
 	}
+	// Sweep temp files abandoned by saves that died before their rename
+	// (kill -9 mid-checkpoint): without this every crash leaks one. Our
+	// own temp is already renamed away, so anything still matching is
+	// stale. Saves to one path are serialized by the caller, so no live
+	// writer loses its file here.
+	if stale, err := filepath.Glob(path + ".tmp-*"); err == nil {
+		for _, s := range stale {
+			_ = os.Remove(s)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,156 @@
+package cachestore
+
+// Crash-during-save scenarios: a checkpoint interrupted at any byte
+// must never poison a later cold start, and the atomic Save must not
+// litter the snapshot directory with temp files — neither on its own
+// failures nor after a predecessor died before its rename.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nanoxbar/internal/core"
+	"nanoxbar/internal/truthtab"
+)
+
+// writeSnapshot saves entries for one function to dir/snap.bin and
+// returns the path.
+func writeSnapshot(t *testing.T, dir string) (string, []Entry) {
+	t.Helper()
+	f, err := truthtab.Parse("3:0x96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := synthAll(t, f)
+	path := filepath.Join(dir, "snap.bin")
+	if err := Save(path, core.Fingerprint(), entries); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return path, entries
+}
+
+// listDir returns the directory's entry names.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		names = append(names, de.Name())
+	}
+	return names
+}
+
+// TestByteTruncatedSnapshotColdStartsCleanly: cut the snapshot file at
+// every sampled byte offset — the shape a crash leaves when the
+// snapshot was being copied or the filesystem lost the tail — and
+// verify Load fails with an error (no panic, no partial entries).
+func TestByteTruncatedSnapshotColdStartsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeSnapshot(t, dir)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(blob) / 37
+	if step < 1 {
+		step = 1
+	}
+	cuts := []int{0, 1, len(blob) - 1}
+	for c := step; c < len(blob); c += step {
+		cuts = append(cuts, c)
+	}
+	cut := filepath.Join(dir, "cut.bin")
+	for _, n := range cuts {
+		if err := os.WriteFile(cut, blob[:n], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := Load(cut, core.Fingerprint())
+		if err == nil {
+			t.Fatalf("cut at %d/%d bytes loaded without error", n, len(blob))
+		}
+		if len(entries) != 0 {
+			t.Fatalf("cut at %d returned %d partial entries alongside %v", n, len(entries), err)
+		}
+	}
+	// The untouched snapshot still loads: truncation detection is not
+	// over-rejecting.
+	if _, err := Load(path, core.Fingerprint()); err != nil {
+		t.Fatalf("intact snapshot: %v", err)
+	}
+}
+
+// TestFailedSaveKeepsOldSnapshotAndNoTemp: a Save that fails mid-write
+// (here: a poisoned entry the encoder refuses) must leave the previous
+// snapshot byte-identical and remove its temp file.
+func TestFailedSaveKeepsOldSnapshotAndNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path, entries := writeSnapshot(t, dir)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]Entry{{Key: "", Imp: entries[0].Imp}}, entries...)
+	if err := Save(path, core.Fingerprint(), bad); err == nil {
+		t.Fatal("save of a poisoned entry succeeded")
+	}
+
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "snap.bin" {
+		t.Fatalf("directory after failed save: %v, want [snap.bin]", names)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed save altered the existing snapshot")
+	}
+	if _, err := Load(path, core.Fingerprint()); err != nil {
+		t.Fatalf("snapshot after failed save: %v", err)
+	}
+}
+
+// TestSaveSweepsCrashLeftovers: temp files from a saver that died
+// before its rename are removed by the next successful Save, and the
+// new snapshot is complete.
+func TestSaveSweepsCrashLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	// Two abandoned temps and a truncated snapshot — the disk state a
+	// kill -9 mid-checkpoint leaves behind.
+	for _, leftover := range []string{"snap.bin.tmp-111", "snap.bin.tmp-222"} {
+		if err := os.WriteFile(filepath.Join(dir, leftover), []byte("partial"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(path, []byte("\x1f\x8b-torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := truthtab.Parse("3:0x96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := synthAll(t, f)
+	if err := Save(path, core.Fingerprint(), entries); err != nil {
+		t.Fatalf("save over crash debris: %v", err)
+	}
+
+	for _, name := range listDir(t, dir) {
+		if strings.Contains(name, ".tmp-") {
+			t.Fatalf("stale temp %q survived a successful save", name)
+		}
+	}
+	got, err := Load(path, core.Fingerprint())
+	if err != nil {
+		t.Fatalf("load after save: %v", err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("loaded %d entries, want %d", len(got), len(entries))
+	}
+}

@@ -11,6 +11,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"math/rand"
 	"runtime"
@@ -22,7 +23,9 @@ import (
 	"nanoxbar/internal/bism"
 	"nanoxbar/internal/core"
 	"nanoxbar/internal/defect"
+	"nanoxbar/internal/latsynth"
 	"nanoxbar/internal/lattice"
+	"nanoxbar/internal/qm"
 	"nanoxbar/internal/telemetry"
 	"nanoxbar/internal/truthtab"
 )
@@ -41,6 +44,21 @@ type Config struct {
 	// Logger receives per-request debug logs (kind, duration, outcome,
 	// request ID when the context carries one). Nil discards.
 	Logger *slog.Logger
+
+	// QueueDepth bounds the job queue (default 4×Workers). Submissions
+	// beyond Workers running + QueueDepth queued wait for space.
+	QueueDepth int
+	// MaxQueueWait is the admission-control budget: a submission that
+	// cannot get queue space within it is shed with an
+	// apierr.ErrOverloaded result instead of blocking. 0 preserves the
+	// pre-admission-control behavior of blocking indefinitely.
+	MaxQueueWait time.Duration
+	// DegradeAfter is the degradation threshold: a request that sat in
+	// the queue longer than this, and that did not pin explicit Options,
+	// runs with the fast degraded synthesis options (greedy SOP, no
+	// exact search, no post-reduction) instead of the defaults, trading
+	// area optimality for latency under load. 0 disables degradation.
+	DegradeAfter time.Duration
 }
 
 // defaultMaxAttempts bounds self-mapping effort when a request does not
@@ -65,16 +83,24 @@ const (
 // worker pool. It is safe for concurrent use; Close releases the
 // workers (no Submit/Do may follow Close).
 type Engine struct {
-	cache   *shardedCache
-	pool    *pool
-	workers int
-	met     *engineMetrics
-	logger  *slog.Logger
+	cache        *shardedCache
+	pool         *pool
+	workers      int
+	maxQueueWait time.Duration
+	degradeAfter time.Duration
+	met          *engineMetrics
+	logger       *slog.Logger
 
 	requests   atomic.Uint64
 	failures   atomic.Uint64
 	synthCalls atomic.Uint64
 	byKind     [4]atomic.Uint64 // synthesize, compare, map, yield
+
+	// Admission-control counters: requests shed at the queue (typed
+	// apierr.ErrOverloaded, never run) and requests served with the
+	// degraded fast-path synthesis options after excessive queue wait.
+	shed         atomic.Uint64
+	degradedReqs atomic.Uint64
 
 	// Fault-path counters: dies placed through the self-mapper, random
 	// defect maps drawn, and total self-mapping configurations spent —
@@ -99,10 +125,12 @@ func New(cfg Config) *Engine {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	e := &Engine{
-		cache:   newShardedCache(cfg.CacheSize, cfg.CacheShards),
-		pool:    newPool(cfg.Workers),
-		workers: cfg.Workers,
-		logger:  cfg.Logger,
+		cache:        newShardedCache(cfg.CacheSize, cfg.CacheShards),
+		pool:         newPool(cfg.Workers, cfg.QueueDepth),
+		workers:      cfg.Workers,
+		maxQueueWait: cfg.MaxQueueWait,
+		degradeAfter: cfg.DegradeAfter,
+		logger:       cfg.Logger,
 	}
 	e.met = newEngineMetrics(e)
 	return e
@@ -224,7 +252,8 @@ func (e *Engine) SubmitBatchCtx(ctx context.Context, reqs []Request) []Result {
 // observes every die of yield requests as (request index, die index).
 // Both callbacks may be invoked concurrently from pool workers; callers
 // synchronize shared state. SubmitStream returns when every request has
-// been resolved (run, or reported canceled).
+// been resolved (run, shed with an apierr.ErrOverloaded result when the
+// queue stayed saturated past MaxQueueWait, or reported canceled).
 func (e *Engine) SubmitStream(ctx context.Context, reqs []Request, done func(int, Result), onDie func(req, die int, mr *MapResult, err error)) {
 	var wg sync.WaitGroup
 	wg.Add(len(reqs))
@@ -233,18 +262,27 @@ func (e *Engine) SubmitStream(ctx context.Context, reqs []Request, done func(int
 		enqueued := time.Now()
 		job := func() {
 			defer wg.Done()
-			e.met.queueWait.Observe(time.Since(enqueued))
+			wait := time.Since(enqueued)
+			e.met.queueWait.Observe(wait)
+			// Degrade rather than queue-collapse: a request that already
+			// burned its wait budget in the queue gets the cheap
+			// synthesis path (unless it pinned explicit Options).
+			degraded := e.degradeAfter > 0 && wait > e.degradeAfter && reqs[i].Options == nil
 			var df DieFunc
 			if onDie != nil {
 				df = func(die int, mr *MapResult, err error) { onDie(i, die, mr, err) }
 			}
-			done(i, e.run(ctx, reqs[i], df))
+			done(i, e.run(ctx, reqs[i], df, degraded))
 		}
-		if !e.pool.submitCtx(ctx, job) {
-			// Canceled while waiting for queue space: resolve the job
-			// here; it never reached a worker.
+		if err := e.pool.submitWait(ctx, e.maxQueueWait, job); err != nil {
+			// Never reached a worker: resolve the job here, typed by
+			// why admission failed.
 			wg.Done()
-			done(i, e.canceledResult(reqs[i].Kind, ctx.Err()))
+			if errors.Is(err, errQueueFull) {
+				done(i, e.overloadedResult(reqs[i].Kind))
+			} else {
+				done(i, e.canceledResult(reqs[i].Kind, err))
+			}
 		}
 	}
 	wg.Wait()
@@ -259,15 +297,24 @@ func (e *Engine) canceledResult(kind Kind, cause error) Result {
 	return errResult(kind, apierr.Canceled(cause))
 }
 
+// overloadedResult accounts a request shed at admission.
+func (e *Engine) overloadedResult(kind Kind) Result {
+	e.requests.Add(1)
+	e.failures.Add(1)
+	e.shed.Add(1)
+	return errResult(kind, apierr.Overloaded(
+		"engine: job queue saturated past the %v admission budget", e.maxQueueWait))
+}
+
 // run executes one request inline on the calling goroutine.
-func (e *Engine) run(ctx context.Context, req Request, onDie DieFunc) Result {
+func (e *Engine) run(ctx context.Context, req Request, onDie DieFunc, degraded bool) Result {
 	if err := ctx.Err(); err != nil {
 		return e.canceledResult(req.Kind, err)
 	}
 	e.requests.Add(1)
 	e.met.inflight.Inc()
 	start := time.Now()
-	res := e.dispatch(ctx, req, onDie)
+	res := e.dispatch(ctx, req, onDie, degraded)
 	elapsed := time.Since(start)
 	e.met.inflight.Dec()
 	e.met.observeRequest(req.Kind, elapsed)
@@ -300,7 +347,9 @@ func (e *Engine) logRequest(ctx context.Context, kind Kind, d time.Duration, res
 
 // dispatch routes by kind, converting panics into error results so one
 // bad request cannot take down a pool worker (and with it the daemon).
-func (e *Engine) dispatch(ctx context.Context, req Request, onDie DieFunc) (res Result) {
+// degraded substitutes the fast synthesis options for requests that did
+// not pin their own.
+func (e *Engine) dispatch(ctx context.Context, req Request, onDie DieFunc, degraded bool) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = errResult(req.Kind, apierr.Internal("engine: panic executing request: %v", r))
@@ -309,40 +358,59 @@ func (e *Engine) dispatch(ctx context.Context, req Request, onDie DieFunc) (res 
 	switch req.Kind {
 	case KindSynthesize:
 		e.byKind[0].Add(1)
-		res = e.runSynthesize(ctx, req)
+		res = e.runSynthesize(ctx, req, degraded)
 	case KindCompare:
 		e.byKind[1].Add(1)
-		res = e.runCompare(ctx, req)
+		res = e.runCompare(ctx, req, degraded)
 	case KindMap:
 		e.byKind[2].Add(1)
-		res = e.runMap(ctx, req)
+		res = e.runMap(ctx, req, degraded)
 	case KindYield:
 		e.byKind[3].Add(1)
-		res = e.runYield(ctx, req, onDie)
+		res = e.runYield(ctx, req, onDie, degraded)
 	default:
 		res = errResult(req.Kind, apierr.BadSpec("engine: unknown request kind %q", req.Kind))
+	}
+	if res.Degraded {
+		e.degradedReqs.Add(1)
 	}
 	return res
 }
 
+// degradedOptions is the overload fast path: greedy SOP cell assignment
+// with no exact search, no post-reduction, and no alternative
+// p-circuit/dual-reduce probing — the cheapest correct flow the
+// synthesizer offers. The options differ from the defaults, so degraded
+// results live under their own cache key and never shadow exact ones.
+func degradedOptions() core.Options {
+	return core.Options{
+		Synth: latsynth.Options{Exact: false, QM: qm.DefaultOptions(), Cells: latsynth.MostFrequent},
+	}
+}
+
 // resolve elaborates the shared request fields: function, technology,
-// options.
-func (e *Engine) resolve(req Request) (truthtab.TT, core.Technology, core.Options, error) {
+// options. The returned bool reports that the degraded fast-path
+// options were substituted (only ever when req.Options is nil).
+func (e *Engine) resolve(req Request, degraded bool) (truthtab.TT, core.Technology, core.Options, bool, error) {
 	f, err := req.Function.Resolve()
 	if err != nil {
-		return truthtab.TT{}, 0, core.Options{}, err
+		return truthtab.TT{}, 0, core.Options{}, false, err
 	}
 	tech := core.FourTerminal
 	if req.Tech != "" {
 		if tech, err = core.ParseTechnology(req.Tech); err != nil {
-			return truthtab.TT{}, 0, core.Options{}, err
+			return truthtab.TT{}, 0, core.Options{}, false, err
 		}
 	}
 	opts := core.DefaultOptions()
+	applied := false
 	if req.Options != nil {
 		opts = *req.Options
+	} else if degraded {
+		opts = degradedOptions()
+		applied = true
 	}
-	return f, tech, opts, nil
+	return f, tech, opts, applied, nil
 }
 
 // synth runs one cached synthesis and summarizes it.
@@ -357,8 +425,8 @@ func (e *Engine) synth(ctx context.Context, f truthtab.TT, tech core.Technology,
 	}, nil
 }
 
-func (e *Engine) runSynthesize(ctx context.Context, req Request) Result {
-	f, tech, opts, err := e.resolve(req)
+func (e *Engine) runSynthesize(ctx context.Context, req Request, degraded bool) Result {
+	f, tech, opts, deg, err := e.resolve(req, degraded)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
@@ -366,11 +434,11 @@ func (e *Engine) runSynthesize(ctx context.Context, req Request) Result {
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
-	return Result{Kind: req.Kind, Synthesis: &sr}
+	return Result{Kind: req.Kind, Synthesis: &sr, Degraded: deg}
 }
 
-func (e *Engine) runCompare(ctx context.Context, req Request) Result {
-	f, _, opts, err := e.resolve(req)
+func (e *Engine) runCompare(ctx context.Context, req Request, degraded bool) Result {
+	f, _, opts, deg, err := e.resolve(req, degraded)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
@@ -385,7 +453,7 @@ func (e *Engine) runCompare(ctx context.Context, req Request) Result {
 		}
 		*tc.dst = sr
 	}
-	return Result{Kind: req.Kind, Compare: &cr}
+	return Result{Kind: req.Kind, Compare: &cr, Degraded: deg}
 }
 
 // chipSizeFor resolves and bounds the chip side for random defect
@@ -444,8 +512,8 @@ func (e *Engine) mapOnce(imp *core.Implementation, chip *defect.Map, scheme bism
 	return mr, nil
 }
 
-func (e *Engine) runMap(ctx context.Context, req Request) Result {
-	f, tech, opts, err := e.resolve(req)
+func (e *Engine) runMap(ctx context.Context, req Request, degraded bool) Result {
+	f, tech, opts, deg, err := e.resolve(req, degraded)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
@@ -480,7 +548,7 @@ func (e *Engine) runMap(ctx context.Context, req Request) Result {
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
-	return Result{Kind: req.Kind, Map: mr}
+	return Result{Kind: req.Kind, Map: mr, Degraded: deg}
 }
 
 // subSeed derives the deterministic per-die seed of die i (splitmix64
@@ -489,8 +557,8 @@ func subSeed(seed int64, i int) int64 {
 	return seed + int64(i)*-0x61c8864680b583eb
 }
 
-func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Result {
-	f, tech, opts, err := e.resolve(req)
+func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc, degraded bool) Result {
+	f, tech, opts, deg, err := e.resolve(req, degraded)
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
@@ -612,7 +680,7 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc) Resul
 	yr.AvgConfigs = float64(configs) / float64(chips)
 	yr.AvgBIST = float64(bist) / float64(chips)
 	yr.AvgBISD = float64(bisd) / float64(chips)
-	return Result{Kind: req.Kind, Yield: yr}
+	return Result{Kind: req.Kind, Yield: yr, Degraded: deg}
 }
 
 // Stats is a point-in-time snapshot of the engine counters, shaped for
@@ -632,6 +700,13 @@ type Stats struct {
 	SynthCalls  uint64 `json:"synth_calls"` // underlying core.Synthesize invocations
 	Requests    uint64 `json:"requests"`
 	Failures    uint64 `json:"failures"`
+	// Admission-control counters: requests shed at the queue and
+	// requests served degraded; QueueDepth/QueuedJobs expose the bounded
+	// queue's size and current occupancy.
+	Shed        uint64 `json:"shed"`
+	Degraded    uint64 `json:"requests_degraded"`
+	QueueDepth  int    `json:"queue_depth"`
+	QueuedJobs  int    `json:"queued_jobs"`
 	Synthesizes uint64 `json:"requests_synthesize"`
 	Compares    uint64 `json:"requests_compare"`
 	Maps        uint64 `json:"requests_map"`
@@ -676,6 +751,10 @@ func (e *Engine) Stats() Stats {
 		SynthCalls:          e.synthCalls.Load(),
 		Requests:            e.requests.Load(),
 		Failures:            e.failures.Load(),
+		Shed:                e.shed.Load(),
+		Degraded:            e.degradedReqs.Load(),
+		QueueDepth:          e.pool.depth(),
+		QueuedJobs:          e.pool.queued(),
 		Synthesizes:         e.byKind[0].Load(),
 		Compares:            e.byKind[1].Load(),
 		Maps:                e.byKind[2].Load(),

@@ -88,6 +88,12 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		reg.CounterFunc(name, help, func() float64 { return float64(v()) })
 	}
 	counter("nanoxbar_request_failures_total", "Requests that returned an error result.", e.failures.Load)
+	counter("nanoxbar_engine_shed_total", "Requests shed at admission: the job queue stayed saturated past the wait budget.", e.shed.Load)
+	counter("nanoxbar_engine_degraded_total", "Requests served with the degraded fast-path synthesis options after excessive queue wait.", e.degradedReqs.Load)
+	reg.GaugeFunc("nanoxbar_engine_queue_depth", "Job queue buffer size.",
+		func() float64 { return float64(e.pool.depth()) })
+	reg.GaugeFunc("nanoxbar_engine_queued_jobs", "Jobs waiting for a worker.",
+		func() float64 { return float64(e.pool.queued()) })
 	counter("nanoxbar_synth_calls_total", "Underlying core.Synthesize invocations (cache misses that ran).", e.synthCalls.Load)
 	counter("nanoxbar_dies_mapped_total", "Dies placed through the self-mapper.", e.diesMapped.Load)
 	counter("nanoxbar_defect_maps_generated_total", "Random defect maps drawn.", e.defectMaps.Load)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -106,6 +107,43 @@ func TestSnapshotStreamRoundTrip(t *testing.T) {
 	st := e2.Stats()
 	if st.CacheEntries != len(reqs) {
 		t.Fatalf("entries=%d, want %d", st.CacheEntries, len(reqs))
+	}
+}
+
+// TestColdStartAfterTruncatedSnapshot is the crash-during-save restart
+// scenario: the snapshot on disk is cut mid-stream, the load fails
+// typed, and the engine still serves every request cold — a torn
+// checkpoint costs warmth, never availability or correctness.
+func TestColdStartAfterTruncatedSnapshot(t *testing.T) {
+	reqs := warmupBatch()
+	path := filepath.Join(t.TempDir(), "cache.snap")
+
+	e1 := New(Config{Workers: 4, CacheSize: 64})
+	e1.SubmitBatch(reqs)
+	if _, err := e1.SaveCacheSnapshot(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	e1.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(Config{Workers: 4, CacheSize: 64})
+	defer e2.Close()
+	if n, err := e2.LoadCacheSnapshot(path); err == nil {
+		t.Fatalf("torn snapshot loaded %d entries without error", n)
+	}
+	if st := e2.Stats(); st.CacheLoaded != 0 || st.CacheEntries != 0 {
+		t.Fatalf("torn snapshot leaked entries: loaded=%d entries=%d", st.CacheLoaded, st.CacheEntries)
+	}
+	for i, res := range e2.SubmitBatch(reqs) {
+		if !res.Ok() {
+			t.Fatalf("cold request %d failed: %s", i, res.Error)
+		}
 	}
 }
 

@@ -2,19 +2,30 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"sync"
+	"time"
 )
+
+// errQueueFull is submitWait's shed signal: the job queue stayed full
+// past the wait budget. Distinct from context cancellation so admission
+// control can answer "overloaded" rather than "canceled".
+var errQueueFull = errors.New("engine: job queue saturated")
 
 // pool is a bounded worker pool: a fixed set of goroutines draining one
 // job channel. Submission blocks once the buffer fills, giving callers
-// natural backpressure instead of unbounded goroutine growth.
+// natural backpressure — and, via submitWait's budget, a typed shed
+// point — instead of unbounded goroutine growth.
 type pool struct {
 	jobs chan func()
 	wg   sync.WaitGroup
 }
 
-func newPool(workers int) *pool {
-	p := &pool{jobs: make(chan func(), 4*workers)}
+func newPool(workers, depth int) *pool {
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	p := &pool{jobs: make(chan func(), depth)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -27,27 +38,48 @@ func newPool(workers int) *pool {
 	return p
 }
 
-// submit enqueues a job; it blocks when the queue is full.
-func (p *pool) submit(job func()) { p.jobs <- job }
+// depth returns the queue buffer size.
+func (p *pool) depth() int { return cap(p.jobs) }
 
-// submitCtx enqueues a job unless the context is done first; it reports
-// whether the job was accepted. A job accepted here may still observe a
-// canceled context when it runs — executors re-check before doing work.
-func (p *pool) submitCtx(ctx context.Context, job func()) bool {
-	if ctx == nil || ctx.Done() == nil {
-		p.jobs <- job
-		return true
-	}
-	select {
-	case <-ctx.Done():
-		return false
-	default:
-	}
+// queued returns the number of jobs waiting for a worker.
+func (p *pool) queued() int { return len(p.jobs) }
+
+// submitWait enqueues a job, waiting at most maxWait for queue space
+// (maxWait <= 0 waits indefinitely). It returns nil on acceptance,
+// errQueueFull when the wait budget expired with the queue still full,
+// or ctx.Err() when the context died first. A job accepted here may
+// still observe a canceled context when it runs — executors re-check
+// before doing work.
+func (p *pool) submitWait(ctx context.Context, maxWait time.Duration, job func()) error {
 	select {
 	case p.jobs <- job:
-		return true
-	case <-ctx.Done():
-		return false
+		return nil
+	default:
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done = ctx.Done()
+	}
+	if maxWait <= 0 {
+		select {
+		case p.jobs <- job:
+			return nil
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	select {
+	case p.jobs <- job:
+		return nil
+	case <-t.C:
+		return errQueueFull
+	case <-done:
+		return ctx.Err()
 	}
 }
 

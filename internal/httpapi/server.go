@@ -21,10 +21,12 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"nanoxbar/internal/apierr"
 	"nanoxbar/internal/engine"
+	"nanoxbar/internal/resilience"
 	"nanoxbar/internal/telemetry"
 )
 
@@ -44,6 +46,14 @@ type Server struct {
 	reg    *telemetry.Registry
 	logger *slog.Logger
 	start  time.Time
+
+	// Protection state (protect.go): the optional work-route
+	// concurrency limiter, the drain flag, and the panic/drain
+	// counters.
+	limiter      *resilience.Limiter
+	draining     atomic.Bool
+	panics       atomic.Uint64
+	drainRejects atomic.Uint64
 }
 
 // New builds the production handler over eng. Every route is wrapped in
@@ -61,10 +71,17 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	handle := func(path string, h http.HandlerFunc) {
 		s.mux.HandleFunc(path, s.instrument(path, h))
 	}
-	handle("/v1/synthesize", s.handleSingle(engine.KindSynthesize, engine.KindCompare))
-	handle("/v1/map", s.handleSingle(engine.KindMap, engine.KindYield))
-	handle("/v1/batch", s.handleBatch)
-	handle("/v2/jobs", s.handleJobs)
+	// Work routes additionally pass the protection middleware
+	// (protect.go): drain rejection, deadline-header extraction, and
+	// the optional concurrency limit. Ops routes stay unprotected so
+	// health checks and metric scrapes survive overload and drain.
+	handleWork := func(path string, h http.HandlerFunc) {
+		handle(path, s.protect(h))
+	}
+	handleWork("/v1/synthesize", s.handleSingle(engine.KindSynthesize, engine.KindCompare))
+	handleWork("/v1/map", s.handleSingle(engine.KindMap, engine.KindYield))
+	handleWork("/v1/batch", s.handleBatch)
+	handleWork("/v2/jobs", s.handleJobs)
 	handle("/healthz", requireGET(s.handleHealthz))
 	handle("/stats", requireGET(s.handleStats))
 	handle("/metrics", requireGET(s.handleMetrics))
@@ -180,7 +197,7 @@ func (s *Server) handleSingle(def engine.Kind, also ...engine.Kind) http.Handler
 		}
 		res := s.eng.DoCtx(r.Context(), req)
 		if !res.Ok() {
-			writeJSON(w, http.StatusUnprocessableEntity, res)
+			writeJSON(w, statusForResult(w, res), res)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)

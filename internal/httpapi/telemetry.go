@@ -64,7 +64,13 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		r = r.WithContext(telemetry.WithRequestID(r.Context(), id))
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r)
+		func() {
+			// Panic recovery sits inside the middleware so the 500 is
+			// still counted, logged, and tagged with the request ID by
+			// the code below.
+			defer s.recoverPanic(sw, r)
+			h(sw, r)
+		}()
 		status := sw.code
 		if status == 0 {
 			status = http.StatusOK
@@ -146,6 +152,20 @@ var buildInfo = sync.OnceValue(func() buildDetails {
 func (s *Server) registerServerMetrics() {
 	s.reg.GaugeFunc("nanoxbar_uptime_seconds", "Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.CounterFunc("nanoxbar_http_panics_total",
+		"Handler panics converted into 500s by the recovery middleware.",
+		func() float64 { return float64(s.panics.Load()) })
+	s.reg.CounterFunc("nanoxbar_http_drain_rejects_total",
+		"Work requests rejected 503 while the server drained for shutdown.",
+		func() float64 { return float64(s.drainRejects.Load()) })
+	s.reg.GaugeFunc("nanoxbar_http_draining",
+		"1 while the server is draining for shutdown.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 	bi := buildInfo()
 	s.reg.GaugeFunc("nanoxbar_build_info", "Build identity; value is always 1.",
 		func() float64 { return 1 },

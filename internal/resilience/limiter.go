@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrLimited is returned by Limiter.Acquire when the concurrency limit
+// stayed saturated past the wait budget — the request is shed, not
+// queued. Callers map it onto their overloaded-class error.
+var ErrLimited = errors.New("resilience: concurrency limit saturated")
+
+// Limiter bounds concurrent work with a shed policy: an Acquire that
+// cannot get a slot within MaxWait fails typed instead of queueing
+// without bound. This is the admission-control primitive behind the
+// HTTP layer's 429s — bounded latency for admitted requests, fast
+// typed rejection for the rest. Safe for concurrent use.
+type Limiter struct {
+	slots   chan struct{}
+	maxWait time.Duration
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+}
+
+// NewLimiter builds a limiter admitting max concurrent holders; an
+// Acquire waits up to maxWait for a slot (0 = shed immediately when
+// saturated).
+func NewLimiter(max int, maxWait time.Duration) *Limiter {
+	if max < 1 {
+		max = 1
+	}
+	return &Limiter{slots: make(chan struct{}, max), maxWait: maxWait}
+}
+
+// Cap returns the concurrency limit.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
+// Inflight returns the number of slots currently held.
+func (l *Limiter) Inflight() int { return len(l.slots) }
+
+// Admitted returns how many Acquires succeeded.
+func (l *Limiter) Admitted() uint64 { return l.admitted.Load() }
+
+// Shed returns how many Acquires were rejected with ErrLimited.
+func (l *Limiter) Shed() uint64 { return l.shed.Load() }
+
+// Acquire takes a slot, waiting at most the limiter's MaxWait. It
+// returns nil (caller must Release), ErrLimited when shed, or ctx.Err()
+// when the context dies first.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return nil
+	default:
+	}
+	if l.maxWait <= 0 {
+		l.shed.Add(1)
+		return ErrLimited
+	}
+	t := time.NewTimer(l.maxWait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return nil
+	case <-t.C:
+		l.shed.Add(1)
+		return ErrLimited
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by a successful Acquire.
+func (l *Limiter) Release() {
+	select {
+	case <-l.slots:
+	default:
+		panic("resilience: Release without Acquire")
+	}
+}

@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy shapes a jittered exponential backoff schedule. The zero
+// value is usable: Normalize fills in the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3; 1 disables retrying).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 2s).
+	MaxDelay time.Duration
+	// Multiplier is the per-attempt growth factor (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in
+	// [0,1]: the sleep is delay*(1-Jitter) + rand*delay*Jitter, so 0 is
+	// fully deterministic and 1 is full-range jitter (default 0.5).
+	Jitter float64
+}
+
+// Normalize returns the policy with defaults applied.
+func (p RetryPolicy) Normalize() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// abortError marks an error as non-retryable.
+type abortError struct{ err error }
+
+func (a *abortError) Error() string { return a.err.Error() }
+func (a *abortError) Unwrap() error { return a.err }
+
+// Abort wraps err so Retrier.Do returns it immediately instead of
+// retrying — for failures where a retry cannot help (bad request) or
+// is unsafe (side effects already observed).
+func Abort(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &abortError{err: err}
+}
+
+// retryAfterError carries a server-supplied backoff hint.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (r *retryAfterError) Error() string { return r.err.Error() }
+func (r *retryAfterError) Unwrap() error { return r.err }
+
+// WithRetryAfter attaches a server-supplied Retry-After hint to err:
+// the retrier sleeps at least this long before the next attempt,
+// overriding a shorter backoff.
+func WithRetryAfter(err error, after time.Duration) error {
+	if err == nil || after <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfter extracts a Retry-After hint from err (0 when absent).
+func RetryAfter(err error) time.Duration {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after
+	}
+	return 0
+}
+
+// RetryStats counts a retrier's work, for telemetry export.
+type RetryStats struct {
+	// Attempts is the total number of operation invocations.
+	Attempts uint64
+	// Retries is how many of those were re-tries (attempt ≥ 2).
+	Retries uint64
+	// Exhausted counts Do calls that failed every allowed attempt.
+	Exhausted uint64
+}
+
+// Retrier runs operations under a RetryPolicy with seeded jitter and an
+// injectable clock, so a given (seed, failure pattern) always produces
+// the same backoff schedule. Safe for concurrent use.
+type Retrier struct {
+	policy RetryPolicy
+	clock  Clock
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	attempts  atomic.Uint64
+	retries   atomic.Uint64
+	exhausted atomic.Uint64
+}
+
+// NewRetrier builds a retrier. A nil clock uses Wall.
+func NewRetrier(policy RetryPolicy, clock Clock, seed int64) *Retrier {
+	if clock == nil {
+		clock = Wall()
+	}
+	return &Retrier{
+		policy: policy.Normalize(),
+		clock:  clock,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Stats snapshots the retrier's counters.
+func (r *Retrier) Stats() RetryStats {
+	return RetryStats{
+		Attempts:  r.attempts.Load(),
+		Retries:   r.retries.Load(),
+		Exhausted: r.exhausted.Load(),
+	}
+}
+
+// delay computes the sleep before retry number n (1-based), folding in
+// jitter and any server hint carried by err.
+func (r *Retrier) delay(n int, err error) time.Duration {
+	d := float64(r.policy.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= r.policy.Multiplier
+		if d >= float64(r.policy.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(r.policy.MaxDelay) {
+		d = float64(r.policy.MaxDelay)
+	}
+	if j := r.policy.Jitter; j > 0 {
+		r.mu.Lock()
+		u := r.rng.Float64()
+		r.mu.Unlock()
+		d = d*(1-j) + u*d*j
+	}
+	out := time.Duration(d)
+	if hint := RetryAfter(err); hint > out {
+		out = hint
+	}
+	return out
+}
+
+// Do runs op until it succeeds, returns an Abort-wrapped error, the
+// attempt budget is spent, or the context dies. Between attempts it
+// sleeps the jittered backoff (or the error's Retry-After hint if
+// longer) on the injected clock; a sleep that would outlive the
+// context's deadline is not started — Do returns the last error
+// immediately, since the caller could never observe a later success.
+// op receives the 1-based attempt number.
+func (r *Retrier) Do(ctx context.Context, op func(ctx context.Context, attempt int) error) error {
+	var last error
+	for attempt := 1; ; attempt++ {
+		r.attempts.Add(1)
+		if attempt > 1 {
+			r.retries.Add(1)
+		}
+		last = op(ctx, attempt)
+		if last == nil {
+			return nil
+		}
+		var abort *abortError
+		if errors.As(last, &abort) {
+			return abort.err
+		}
+		if attempt >= r.policy.MaxAttempts {
+			r.exhausted.Add(1)
+			return last
+		}
+		d := r.delay(attempt, last)
+		if deadline, ok := ctx.Deadline(); ok && r.clock.Now().Add(d).After(deadline) {
+			return last
+		}
+		if err := r.clock.Sleep(ctx, d); err != nil {
+			return last
+		}
+	}
+}

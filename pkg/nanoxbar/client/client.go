@@ -38,6 +38,9 @@ type Client struct {
 	// may tear down its pool. A caller-supplied http.Client is never
 	// closed — the caller owns its connection pool.
 	ownsTransport bool
+	// res holds the opt-in retry/breaker machinery (resilience.go);
+	// nil means every call maps to exactly one HTTP exchange.
+	res *resilienceState
 }
 
 var _ nanoxbar.API = (*Client)(nil)
@@ -122,25 +125,35 @@ func (c *Client) YieldSweep(ctx context.Context, f nanoxbar.FunctionSpec, opts .
 }
 
 // Stats fetches the server's engine counter snapshot (GET /stats).
+// Idempotent, so the resilience layer (when enabled) retries it freely.
 func (c *Client) Stats(ctx context.Context) (nanoxbar.Stats, error) {
 	var st nanoxbar.Stats
+	err := c.withResilience(ctx, "/stats", func(ctx context.Context) (bool, error) {
+		return false, c.statsOnce(ctx, &st)
+	})
+	return st, err
+}
+
+// statsOnce is one GET /stats exchange.
+func (c *Client) statsOnce(ctx context.Context, st *nanoxbar.Stats) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/stats", nil)
 	if err != nil {
-		return st, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
+		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
 	}
 	setRequestID(req)
+	setDeadlineHeader(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return st, c.transportErr(ctx, err)
+		return c.transportErr(ctx, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return st, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: /stats status %d", resp.StatusCode))
+		return decodeErrorBody(resp)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return st, nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
 	}
-	return st, nil
+	return nil
 }
 
 // do runs one request through POST /v2/jobs and resolves its single
@@ -188,17 +201,36 @@ func (c *Client) do(ctx context.Context, kind nanoxbar.Kind, f nanoxbar.Function
 // returns when the terminating "done" event has been consumed, the
 // context is canceled, or the stream fails. Request-level failures are
 // delivered as EventError events, not as a Jobs error.
+//
+// With WithResilience, a submission that fails before any event was
+// delivered to handle is retried (the server observed at most a request
+// it never answered); once events have flowed, failures surface
+// directly — the client cannot replay half-consumed streams.
 func (c *Client) Jobs(ctx context.Context, jobs nanoxbar.JobsRequest, handle func(nanoxbar.Event)) error {
 	payload, err := json.Marshal(jobs)
 	if err != nil {
 		return nanoxbar.ErrorFromCode(nanoxbar.CodeBadSpec, err.Error())
 	}
+	return c.withResilience(ctx, "/v2/jobs", func(ctx context.Context) (bool, error) {
+		delivered := false
+		err := c.jobsOnce(ctx, payload, func(ev nanoxbar.Event) {
+			delivered = true
+			handle(ev)
+		})
+		return delivered, err
+	})
+}
+
+// jobsOnce is one POST /v2/jobs exchange: submit, then pump the NDJSON
+// stream into handle until the done event.
+func (c *Client) jobsOnce(ctx context.Context, payload []byte, handle func(nanoxbar.Event)) error {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/jobs", bytes.NewReader(payload))
 	if err != nil {
 		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	setRequestID(httpReq)
+	setDeadlineHeader(httpReq)
 	resp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return c.transportErr(ctx, err)
@@ -219,10 +251,12 @@ func (c *Client) Jobs(ctx context.Context, jobs nanoxbar.JobsRequest, handle fun
 		if err := json.Unmarshal(line, &ev); err != nil {
 			// A canceled read surfaces as a truncated final line —
 			// the scanner hands back the partial data at stream end.
+			// Any other partial line means the connection died
+			// mid-frame: the unavailable class.
 			if cerr := ctx.Err(); cerr != nil {
 				return nanoxbar.ErrorFromCode(nanoxbar.CodeCanceled, fmt.Sprintf("client: %v", cerr))
 			}
-			return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: bad stream line: %v", err))
+			return nanoxbar.ErrorFromCode(nanoxbar.CodeUnavailable, fmt.Sprintf("client: bad stream line: %v", err))
 		}
 		if ev.Type == nanoxbar.EventDone {
 			return nil
@@ -237,7 +271,7 @@ func (c *Client) Jobs(ctx context.Context, jobs nanoxbar.JobsRequest, handle fun
 	if err := sc.Err(); err != nil {
 		return c.transportErr(ctx, err)
 	}
-	return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, "client: stream ended without done event")
+	return nanoxbar.ErrorFromCode(nanoxbar.CodeUnavailable, "client: stream ended without done event")
 }
 
 // setRequestID forwards the request ID carried by the request context
@@ -251,19 +285,37 @@ func setRequestID(req *http.Request) {
 }
 
 // transportErr classifies a transport failure: cancellation keeps its
-// taxonomy identity, everything else is internal.
+// taxonomy identity; anything else — refused connections, resets,
+// truncated streams — is the unavailable class, the signal the retry
+// and circuit-breaker machinery keys on.
 func (c *Client) transportErr(ctx context.Context, err error) error {
 	if ctx.Err() != nil {
 		return nanoxbar.ErrorFromCode(nanoxbar.CodeCanceled, fmt.Sprintf("client: %v", err))
 	}
-	return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: %v", err))
+	return nanoxbar.ErrorFromCode(nanoxbar.CodeUnavailable, fmt.Sprintf("client: %v", err))
 }
 
-// decodeErrorBody turns a non-200 v2 response into its typed error.
+// decodeErrorBody turns a non-200 response into its typed error. It
+// accepts both wire shapes — the v2 {"error":{code,message}} object and
+// the v1/middleware {"error":message,"code":code} flat form — and
+// attaches the Retry-After header (when present) as a backoff hint for
+// the resilience layer.
 func decodeErrorBody(resp *http.Response) error {
-	var body nanoxbar.ErrorResponse
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error.Code == "" {
-		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, fmt.Sprintf("client: server status %d", resp.StatusCode))
+	var raw struct {
+		Error json.RawMessage `json:"error"`
+		Code  string          `json:"code"`
 	}
-	return body.Error.Err()
+	err := nanoxbar.ErrorFromCode(nanoxbar.CodeInternal,
+		fmt.Sprintf("client: server status %d", resp.StatusCode))
+	if derr := json.NewDecoder(resp.Body).Decode(&raw); derr == nil && len(raw.Error) > 0 {
+		var wire nanoxbar.WireError
+		var msg string
+		switch {
+		case json.Unmarshal(raw.Error, &wire) == nil && wire.Code != "":
+			err = wire.Err()
+		case json.Unmarshal(raw.Error, &msg) == nil && raw.Code != "":
+			err = nanoxbar.ErrorFromCode(raw.Code, msg)
+		}
+	}
+	return withRetryAfterHint(resp, err)
 }

@@ -20,6 +20,14 @@ var (
 	// ErrCanceled: the context was canceled (or its deadline exceeded)
 	// before the work completed.
 	ErrCanceled = apierr.ErrCanceled
+	// ErrOverloaded: the service shed the request under load instead of
+	// queueing it past its wait budget. Safe to retry after backing off
+	// (the HTTP surface sends a Retry-After hint).
+	ErrOverloaded = apierr.ErrOverloaded
+	// ErrUnavailable: the service cannot take requests right now —
+	// draining for shutdown, unreachable over the network, or fenced
+	// off by the HTTP client's circuit breaker.
+	ErrUnavailable = apierr.ErrUnavailable
 	// ErrInternal: an unexpected failure (bug, panic).
 	ErrInternal = apierr.ErrInternal
 )
@@ -27,10 +35,12 @@ var (
 // Wire codes, one per sentinel, as they appear in v2 HTTP error bodies
 // and in Result.Code.
 const (
-	CodeBadSpec    = apierr.CodeBadSpec
-	CodeInfeasible = apierr.CodeInfeasible
-	CodeCanceled   = apierr.CodeCanceled
-	CodeInternal   = apierr.CodeInternal
+	CodeBadSpec     = apierr.CodeBadSpec
+	CodeInfeasible  = apierr.CodeInfeasible
+	CodeCanceled    = apierr.CodeCanceled
+	CodeOverloaded  = apierr.CodeOverloaded
+	CodeUnavailable = apierr.CodeUnavailable
+	CodeInternal    = apierr.CodeInternal
 )
 
 // ErrorCode maps an error onto its wire code ("" for nil,
