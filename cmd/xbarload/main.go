@@ -233,6 +233,15 @@ func expectedChaosFailure(err error) bool {
 	return errors.Is(err, nanoxbar.ErrInternal) && strings.Contains(err.Error(), "chaos: injected")
 }
 
+// Metric family names the chaos soak bridges into the in-process
+// server's registry.
+const (
+	metricChaosFaults          = "nanoxbar_chaos_faults_total"
+	metricClientRetries        = "nanoxbar_client_retries_total"
+	metricClientRetryExhausted = "nanoxbar_client_retry_exhausted_total"
+	metricClientBreakerOpens   = "nanoxbar_client_breaker_opens_total"
+)
+
 // bridgeChaosMetrics exposes the chaos transport's injected-fault
 // counters and the client's retry/breaker counters through the
 // in-process server's registry, so the soak's /metrics scrapes (and a
@@ -246,24 +255,24 @@ func bridgeChaosMetrics(reg *telemetry.Registry, ct *resilience.ChaosTransport, 
 	}
 	for fault, get := range faults {
 		get := get
-		reg.CounterFunc("nanoxbar_chaos_faults_total",
+		reg.CounterFunc(metricChaosFaults,
 			"Faults injected by the xbarload chaos transport.",
 			func() float64 { return float64(get(ct.Stats())) }, "fault", fault)
 	}
 	stats := func() (nbclient.ResilienceStats, bool) { return cl.ResilienceStats() }
-	reg.CounterFunc("nanoxbar_client_retries_total",
+	reg.CounterFunc(metricClientRetries,
 		"Retries the soak client issued against injected faults.",
 		func() float64 {
 			st, _ := stats()
 			return float64(st.Retry.Retries)
 		})
-	reg.CounterFunc("nanoxbar_client_retry_exhausted_total",
+	reg.CounterFunc(metricClientRetryExhausted,
 		"Soak client calls that failed after exhausting their retry budget.",
 		func() float64 {
 			st, _ := stats()
 			return float64(st.Retry.Exhausted)
 		})
-	reg.CounterFunc("nanoxbar_client_breaker_opens_total",
+	reg.CounterFunc(metricClientBreakerOpens,
 		"Circuit-breaker open transitions across the soak client's endpoints.",
 		func() float64 {
 			st, _ := stats()

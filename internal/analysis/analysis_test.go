@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerRoster pins the suite's membership: dropping an analyzer
+// from Analyzers() must fail loudly, not silently shrink coverage.
+func TestAnalyzerRoster(t *testing.T) {
+	wantNames := []string{"depguard", "clockdiscipline", "seededrand", "metricnames", "errtaxonomy", "ctxfirst"}
+	got := Analyzers()
+	if len(got) != len(wantNames) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(wantNames))
+	}
+	for i, a := range got {
+		if a.Name != wantNames[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, wantNames[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}
+
+func TestDepguardFixtures(t *testing.T) {
+	dirs := []string{
+		fixtureDir("depguard", "badcli"),
+		fixtureDir("depguard", "okcli"),
+		fixtureDir("depguard", "outofscope"),
+	}
+	checkWants(t, runOn(t, "depguard", dirs...), dirs...)
+}
+
+func TestClockDisciplineFixtures(t *testing.T) {
+	dirs := []string{
+		fixtureDir("clockdiscipline", "bad"),
+		fixtureDir("clockdiscipline", "clockparam"),
+	}
+	res := runOn(t, "clockdiscipline", dirs...)
+	checkWants(t, res, dirs...)
+	// The bad fixture carries one reasoned //xbarvet:ignore; the finding
+	// it covers must be counted as suppressed, not listed or lost.
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+func TestSeededRandFixtures(t *testing.T) {
+	dirs := []string{
+		fixtureDir("seededrand", "bad"),
+		fixtureDir("seededrand", "outofscope"),
+	}
+	checkWants(t, runOn(t, "seededrand", dirs...), dirs...)
+}
+
+func TestMetricNamesFixtures(t *testing.T) {
+	dirs := []string{
+		fixtureDir("metricnames", "bad"),
+		fixtureDir("metricnames", "ok"),
+	}
+	checkWants(t, runOn(t, "metricnames", dirs...), dirs...)
+}
+
+func TestErrTaxonomyFixtures(t *testing.T) {
+	dirs := []string{
+		fixtureDir("errtaxonomy", "bad"),
+		fixtureDir("errtaxonomy", "outofscope"),
+	}
+	checkWants(t, runOn(t, "errtaxonomy", dirs...), dirs...)
+}
+
+func TestCtxFirstFixtures(t *testing.T) {
+	dirs := []string{fixtureDir("ctxfirst", "bad")}
+	checkWants(t, runOn(t, "ctxfirst", dirs...), dirs...)
+}
+
+// TestIgnoreMissingReason checks the driver-level rule that a
+// reasonless //xbarvet:ignore is itself a finding, reported under the
+// synthetic analyzer name "xbarvet". (A want comment cannot share the
+// directive's line — its text would become the directive's reason — so
+// this test asserts directly.)
+func TestIgnoreMissingReason(t *testing.T) {
+	res := runOn(t, "", fixtureDir("ignore", "noreason"))
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	if d.Analyzer != "xbarvet" {
+		t.Errorf("Analyzer = %q, want %q", d.Analyzer, "xbarvet")
+	}
+	if !strings.Contains(d.Message, "missing a reason") {
+		t.Errorf("Message = %q, want it to mention a missing reason", d.Message)
+	}
+	if want := fixtureDir("ignore", "noreason") + "/noreason.go"; d.File != want {
+		t.Errorf("File = %q, want %q", d.File, want)
+	}
+}
+
+// TestResultJSONSchema pins the -json output shape tooling consumers
+// parse: top-level keys and the per-diagnostic fields, with
+// module-root-relative slash paths.
+func TestResultJSONSchema(t *testing.T) {
+	res := runOn(t, "depguard", fixtureDir("depguard", "badcli"))
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, key := range []string{"module", "analyzers", "packages", "diagnostics", "suppressed"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("JSON output missing top-level key %q", key)
+		}
+	}
+	if decoded["module"] != "nanoxbar" {
+		t.Errorf("module = %v, want nanoxbar", decoded["module"])
+	}
+	diags, ok := decoded["diagnostics"].([]any)
+	if !ok || len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want a one-element array", decoded["diagnostics"])
+	}
+	d, ok := diags[0].(map[string]any)
+	if !ok {
+		t.Fatalf("diagnostic is %T, want an object", diags[0])
+	}
+	for _, key := range []string{"analyzer", "package", "file", "line", "col", "message"} {
+		if _, ok := d[key]; !ok {
+			t.Errorf("diagnostic missing key %q", key)
+		}
+	}
+	file, _ := d["file"].(string)
+	if !strings.HasPrefix(file, "internal/analysis/testdata/") || strings.Contains(file, "\\") {
+		t.Errorf("file = %q, want a module-root-relative slash path", file)
+	}
+	if d["analyzer"] != "depguard" {
+		t.Errorf("analyzer = %v, want depguard", d["analyzer"])
+	}
+}

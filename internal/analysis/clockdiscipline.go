@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// resiliencePath is the clock-disciplined package: its retry/breaker
+// schedules must be reproducible under test, so real time is confined
+// to the one wallClock implementation (suppressed there with an
+// explicit //xbarvet:ignore).
+const resiliencePath = "nanoxbar/internal/resilience"
+
+// bannedTimeFuncs are the real-time entry points that break fake-clock
+// determinism. time.Time / time.Duration values and arithmetic stay
+// legal — only acquiring "now" or a real timer is disciplined.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+// newClockDiscipline enforces injected clocks: no direct time.Now /
+// time.Sleep / timer construction anywhere in internal/resilience, nor
+// in any function that receives a resilience.Clock parameter or whose
+// receiver carries a resilience.Clock field. Such code must go through
+// the Clock so tests drive it with resilience.Fake.
+func newClockDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "clockdiscipline",
+		Doc:  "clock-disciplined code uses the injected resilience.Clock, never the time package's real clock",
+	}
+	report := func(pass *Pass, n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := qualifiedName(pass.Pkg.Info, sel, "time"); ok && bannedTimeFuncs[name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s in clock-disciplined code: use the injected resilience.Clock so tests stay deterministic", name)
+			}
+			return true
+		})
+	}
+	a.Run = func(pass *Pass) {
+		wholePkg := hasPathPrefix(pass.Pkg.ScopePath, resiliencePath)
+		for _, f := range pass.Pkg.Files {
+			if wholePkg {
+				report(pass, f)
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if receivesClock(pass.Pkg.Info, fn) || receiverHasClockField(pass.Pkg.Info, fn) {
+					report(pass, fn.Body)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// receivesClock reports whether fn has a parameter of type
+// resilience.Clock.
+func receivesClock(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isNamedType(tv.Type, resiliencePath, "Clock") {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverHasClockField reports whether fn is a method on a struct that
+// stores a resilience.Clock — its methods are expected to read time
+// through that field.
+func receiverHasClockField(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isNamedType(st.Field(i).Type(), resiliencePath, "Clock") {
+			return true
+		}
+	}
+	return false
+}

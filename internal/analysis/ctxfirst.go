@@ -1,0 +1,65 @@
+package analysis
+
+import "go/ast"
+
+// newCtxFirst enforces the SDK's context conventions module-wide:
+// every function or method that takes a context.Context takes it as
+// the first parameter (matching pkg/nanoxbar's context-first surface
+// and the standard library convention), interface methods included,
+// and no struct stores a context.Context field — contexts are
+// call-scoped values, and a stored one outlives its cancellation
+// semantics. Queued-work structs that must carry their submitter's
+// context document it with an explicit //xbarvet:ignore.
+func newCtxFirst() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxfirst",
+		Doc:  "context.Context is always the first parameter and never a struct field",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		isCtx := func(e ast.Expr) bool {
+			tv, ok := info.Types[e]
+			return ok && tv.Type != nil && isNamedType(tv.Type, "context", "Context")
+		}
+		checkParams := func(params *ast.FieldList) {
+			if params == nil {
+				return
+			}
+			idx := 0
+			for _, field := range params.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1
+				}
+				if isCtx(field.Type) && idx > 0 {
+					pass.Reportf(field.Pos(),
+						"context.Context must be the first parameter")
+				}
+				idx += n
+			}
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					checkParams(n.Type.Params)
+				case *ast.InterfaceType:
+					for _, m := range n.Methods.List {
+						if ft, ok := m.Type.(*ast.FuncType); ok {
+							checkParams(ft.Params)
+						}
+					}
+				case *ast.StructType:
+					for _, field := range n.Fields.List {
+						if isCtx(field.Type) {
+							pass.Reportf(field.Pos(),
+								"context.Context stored in a struct field: pass it per call instead")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

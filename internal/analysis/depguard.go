@@ -1,0 +1,52 @@
+package analysis
+
+import "strconv"
+
+// publicOnlyScopes are the trees that must program exclusively against
+// the public SDK: the runnable examples and the user-facing CLIs. They
+// are the API-compatibility canary — if pkg/nanoxbar loses surface they
+// need, they stop compiling; if anyone reaches back into internal/ from
+// them, this analyzer fires.
+//
+// The serving daemon (cmd/xbarserverd), the experiment reproducers
+// (cmd/repro, cmd/benchjson), the soak driver (cmd/xbarload), and the
+// analyzer driver (cmd/xbarvet) are the module's own plumbing and may
+// use internal packages.
+var publicOnlyScopes = []string{
+	"nanoxbar/examples",
+	"nanoxbar/cmd/xbarsize",
+	"nanoxbar/cmd/latsynth",
+	"nanoxbar/cmd/faultsim",
+}
+
+// newDepguard checks that public-only trees never import
+// nanoxbar/internal/...: external users could not build that code, so
+// it would be a broken advertisement of the SDK.
+func newDepguard() *Analyzer {
+	a := &Analyzer{
+		Name: "depguard",
+		Doc:  "examples and public CLIs import only pkg/nanoxbar, never internal/...",
+	}
+	a.Run = func(pass *Pass) {
+		inScope := false
+		for _, scope := range publicOnlyScopes {
+			inScope = inScope || hasPathPrefix(pass.Pkg.ScopePath, scope)
+		}
+		if !inScope {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if hasPathPrefix(p, "nanoxbar/internal") {
+					pass.Reportf(imp.Pos(),
+						"import of %s: examples and public CLIs must use pkg/nanoxbar only", p)
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// errTaxonomyScopes are the packages whose errors cross the serving
+// boundary: the HTTP layer and the public SDK (both clients). Errors
+// born here must carry the apierr taxonomy — a sentinel to errors.Is
+// against and a wire code that survives the HTTP round trip — or a
+// naked message reaches users as an unclassifiable "internal error".
+var errTaxonomyScopes = []string{
+	"nanoxbar/internal/httpapi",
+	"nanoxbar/pkg/nanoxbar",
+}
+
+// httpapiPath scopes the raw-http.Error rule: handler bodies must go
+// through the structured {code,message} writers.
+const httpapiPath = "nanoxbar/internal/httpapi"
+
+// newErrTaxonomy forbids naked error construction inside boundary
+// package function bodies: no errors.New (sentinels belong in
+// package-level var blocks), no fmt.Errorf unless it wraps with %w
+// (so the taxonomy sentinel stays reachable through errors.Is), and —
+// in internal/httpapi — no raw http.Error bodies, which bypass the
+// structured {code,message} error shape the clients decode.
+func newErrTaxonomy() *Analyzer {
+	a := &Analyzer{
+		Name: "errtaxonomy",
+		Doc:  "boundary packages construct errors via internal/apierr or %w-wrap a sentinel; handlers never write raw http.Error bodies",
+	}
+	a.Run = func(pass *Pass) {
+		inScope := false
+		for _, scope := range errTaxonomyScopes {
+			inScope = inScope || hasPathPrefix(pass.Pkg.ScopePath, scope)
+		}
+		if !inScope {
+			return
+		}
+		info := pass.Pkg.Info
+		inHTTPAPI := hasPathPrefix(pass.Pkg.ScopePath, httpapiPath)
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if name, ok := qualifiedName(info, call.Fun, "errors"); ok && name == "New" {
+						pass.Reportf(call.Pos(),
+							"errors.New inside a boundary function: construct via internal/apierr or declare a package-level sentinel")
+					}
+					if name, ok := qualifiedName(info, call.Fun, "fmt"); ok && name == "Errorf" && len(call.Args) > 0 {
+						format, isConst := constString(info, call.Args[0])
+						switch {
+						case !isConst:
+							pass.Reportf(call.Pos(),
+								"fmt.Errorf with a non-constant format: construct via internal/apierr so the error keeps a taxonomy code")
+						case !strings.Contains(format, "%w"):
+							pass.Reportf(call.Pos(),
+								"fmt.Errorf without %%w strips the taxonomy: wrap a sentinel or construct via internal/apierr")
+						}
+					}
+					if inHTTPAPI {
+						if name, ok := qualifiedName(info, call.Fun, "net/http"); ok && name == "Error" {
+							pass.Reportf(call.Pos(),
+								"raw http.Error body: use the structured {code,message} error writers")
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// telemetryPath is the metrics substrate. Its own registration calls
+// are exempt: the go_* runtime families there are driven by a
+// declarative runtime/metrics table, not per-site constants.
+const telemetryPath = "nanoxbar/internal/telemetry"
+
+// registerMethods are the telemetry.Registry entry points whose first
+// argument is a metric family name.
+var registerMethods = map[string]bool{
+	"Counter":          true,
+	"Gauge":            true,
+	"Histogram":        true,
+	"CounterFunc":      true,
+	"GaugeFunc":        true,
+	"Collect":          true,
+	"CollectHistogram": true,
+}
+
+// metricNameRe is the required shape: nanoxbar_ (project families) or
+// go_ (runtime families) prefix, snake_case throughout.
+var metricNameRe = regexp.MustCompile(`^(nanoxbar|go)_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// newMetricNames enforces metric-name hygiene at every
+// telemetry.Registry registration site: the name must be a named
+// string constant (greppable, not assembled at runtime) whose value is
+// nanoxbar_/go_-prefixed snake_case, and no two distinct constant
+// declarations in the repo may carry the same name — every family has
+// exactly one owner, so registries merged at serve time cannot collide.
+//
+// Thin helpers that forward a name parameter to a registration call
+// (the engine's counter/cacheFamily closures) are traced one level: the
+// helper's call sites are checked instead of its forwarding call.
+func newMetricNames() *Analyzer {
+	// seen maps metric name -> position of the constant declaration
+	// that introduced it, across every package of the run.
+	seen := make(map[string]string)
+	a := &Analyzer{
+		Name: "metricnames",
+		Doc:  "telemetry registrations use unique nanoxbar_/go_-prefixed snake_case name constants",
+	}
+	a.Run = func(pass *Pass) {
+		if hasPathPrefix(pass.Pkg.ScopePath, telemetryPath) {
+			return
+		}
+		info := pass.Pkg.Info
+		checkName := func(e ast.Expr) {
+			value, isConst := constString(info, e)
+			if !isConst {
+				pass.Reportf(e.Pos(), "metric name must be a named string constant, not a runtime value")
+				return
+			}
+			if !metricNameRe.MatchString(value) {
+				pass.Reportf(e.Pos(), "metric name %q must be nanoxbar_- or go_-prefixed snake_case", value)
+				return
+			}
+			obj := constObject(info, e)
+			if obj == nil {
+				pass.Reportf(e.Pos(), "inline metric name literal %q: promote it to a named const", value)
+				return
+			}
+			declPos := pass.Pkg.Fset.Position(obj.Pos()).String()
+			if prev, ok := seen[value]; ok && prev != declPos {
+				pass.Reportf(e.Pos(), "metric name %q already declared at %s: reuse that constant or pick a distinct name", value, prev)
+				return
+			}
+			seen[value] = declPos
+		}
+
+		forwarders, exempt := findForwarders(info, pass.Pkg.Files)
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isRegisterCall(info, call) && len(call.Args) > 0:
+					if !exempt[call.Pos()] {
+						checkName(call.Args[0])
+					}
+				default:
+					if idx, ok := forwarders[calleeObject(info, call)]; ok && idx < len(call.Args) {
+						checkName(call.Args[idx])
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isRegisterCall reports whether call invokes a registration method on
+// telemetry.Registry.
+func isRegisterCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registerMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(sig.Recv().Type(), telemetryPath, "Registry")
+}
+
+// calleeObject resolves the called function's object for plain and
+// selector callees.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// findForwarders locates functions (declarations and func literals
+// bound by := or var) that pass one of their own string parameters as
+// the name argument of a registration call. It returns the forwarder
+// objects with the parameter index to check at call sites, plus the
+// forwarding calls themselves, which are exempt from the direct check.
+func findForwarders(info *types.Info, files []*ast.File) (map[types.Object]int, map[token.Pos]bool) {
+	forwarders := make(map[types.Object]int)
+	exempt := make(map[token.Pos]bool)
+	analyze := func(obj types.Object, ft *ast.FuncType, body *ast.BlockStmt) {
+		if obj == nil || ft.Params == nil || body == nil {
+			return
+		}
+		paramIdx := make(map[types.Object]int)
+		idx := 0
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if def, ok := info.Defs[name]; ok {
+					paramIdx[def] = idx
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegisterCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			arg, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if i, ok := paramIdx[info.Uses[arg]]; ok {
+				forwarders[obj] = i
+				exempt[call.Pos()] = true
+			}
+			return true
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				analyze(info.Defs[n.Name], n.Type, n.Body)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						analyze(info.Defs[id], lit.Type, lit.Body)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					lit, ok := v.(*ast.FuncLit)
+					if !ok || i >= len(n.Names) {
+						continue
+					}
+					analyze(info.Defs[n.Names[i]], lit.Type, lit.Body)
+				}
+			}
+			return true
+		})
+	}
+	return forwarders, exempt
+}
+
+// constObject returns the named constant an expression refers to, nil
+// for literals and other constant expressions.
+func constObject(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	return c
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// Result is one full suite run, shaped for both the text and -json
+// outputs of cmd/xbarvet. The JSON schema is load-bearing for tooling
+// consumers and covered by a test; extend it, don't reshape it.
+type Result struct {
+	// Module is the analyzed module's path.
+	Module string `json:"module"`
+	// Analyzers lists the analyzers that ran, in order.
+	Analyzers []string `json:"analyzers"`
+	// Packages is how many packages were analyzed.
+	Packages int `json:"packages"`
+	// Diagnostics are the surviving findings, sorted by file, line,
+	// column, analyzer.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Suppressed counts findings silenced by //xbarvet:ignore
+	// directives (with reasons); they are dropped, not listed.
+	Suppressed int `json:"suppressed"`
+	// TypeErrors lists packages that did not type-check cleanly. A
+	// non-empty list means the analyzers ran with partial information
+	// and the run must not be trusted as a clean bill.
+	TypeErrors []string `json:"type_errors,omitempty"`
+}
+
+// JSON renders the result as indented JSON.
+func (r Result) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Run executes analyzers over pkgs: each analyzer visits each package,
+// //xbarvet:ignore directives filter the findings, and an ignore
+// directive without a reason is itself reported (under the analyzer
+// name "xbarvet") — silent suppressions are the one thing an invariant
+// suite must not allow. Paths in diagnostics are relative to the
+// loader's module root.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) Result {
+	root := l.Root
+	// Diagnostics starts non-nil so a clean run marshals as [], not
+	// null — JSON consumers iterate without a nil check.
+	res := Result{Module: l.Module, Packages: len(pkgs), Diagnostics: []Diagnostic{}}
+	for _, a := range analyzers {
+		res.Analyzers = append(res.Analyzers, a.Name)
+	}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			a.Run(pass)
+		}
+		for _, err := range pkg.TypeErrors {
+			res.TypeErrors = append(res.TypeErrors, err.Error())
+		}
+		// Reasonless ignores: report at the directive itself.
+		for file, byLine := range pkg.ignores {
+			for _, dir := range byLine {
+				if dir.reason != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(dir.pos)
+				raw = append(raw, Diagnostic{
+					Analyzer: "xbarvet",
+					Package:  pkg.ScopePath,
+					File:     file,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  "//xbarvet:ignore directive missing a reason",
+				})
+			}
+		}
+	}
+	byFile := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	for _, d := range raw {
+		if pkg := byFile[d.File]; pkg != nil && pkg.suppressed(d.File, d.Line) {
+			res.Suppressed++
+			continue
+		}
+		if rel, err := filepath.Rel(root, d.File); err == nil {
+			d.File = filepath.ToSlash(rel)
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	sort.Strings(res.TypeErrors)
+	return res
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import "go/ast"
+
+// seededRandScopes are the packages whose random streams must be
+// bit-for-bit reproducible from a seed: the scalar-vs-bitsliced
+// reference tests, the Monte Carlo error-rate pins, and the warm-cache
+// soak comparisons all depend on it. Global math/rand draws share
+// process-wide state and destroy that property.
+var seededRandScopes = []string{
+	"nanoxbar/internal/defect",
+	"nanoxbar/internal/redundancy",
+	"nanoxbar/internal/engine",
+	"nanoxbar/internal/bism",
+	"nanoxbar/internal/resilience",
+}
+
+// seededRandAllowed is the default-deny allowlist: constructors that
+// build an owned, seeded generator, and the type names needed to
+// declare one. Everything else reached through the rand package
+// qualifier (Intn, Float64, Perm, Shuffle, Seed, Read, N, ...) is a
+// draw from — or a mutation of — the shared global stream.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"Rand":       true,
+	"Source":     true,
+	"Source64":   true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+// newSeededRand forbids the global math/rand (and math/rand/v2)
+// top-level functions in the reproducibility-critical packages; those
+// packages draw only from *rand.Rand values built from explicit seeds.
+func newSeededRand() *Analyzer {
+	a := &Analyzer{
+		Name: "seededrand",
+		Doc:  "reproducibility-critical packages draw only from seeded *rand.Rand values, never the global math/rand stream",
+	}
+	a.Run = func(pass *Pass) {
+		inScope := false
+		for _, scope := range seededRandScopes {
+			inScope = inScope || hasPathPrefix(pass.Pkg.ScopePath, scope)
+		}
+		if !inScope {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+					if name, ok := qualifiedName(pass.Pkg.Info, sel, randPath); ok && !seededRandAllowed[name] {
+						pass.Reportf(sel.Pos(),
+							"global %s.%s breaks seeded reproducibility: draw from a *rand.Rand built with an explicit seed", randPath, name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

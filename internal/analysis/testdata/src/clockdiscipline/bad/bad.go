@@ -1,0 +1,29 @@
+//xbarvet:pkgpath nanoxbar/internal/resilience
+
+// Fixture: code masquerading as internal/resilience, where every real
+// clock read is banned package-wide.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now() // want "time.Now in clock-disciplined code"
+}
+
+func wait(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep in clock-disciplined code"
+	select {
+	case <-time.After(time.Millisecond): // want "time.After in clock-disciplined code"
+	case <-ctx.Done():
+	}
+}
+
+// sanctioned shows the escape hatch: an ignore directive with a reason
+// suppresses the finding (counted, not listed).
+func sanctioned() time.Time {
+	//xbarvet:ignore clockdiscipline: fixture's sanctioned real-time read
+	return time.Now()
+}

@@ -1,0 +1,29 @@
+// Fixture: a package outside internal/resilience, where the clock
+// discipline applies only to functions that receive a resilience.Clock
+// or whose receiver stores one.
+package fixture
+
+import (
+	"time"
+
+	"nanoxbar/internal/resilience"
+)
+
+// free has no Clock in reach: real time is legal here.
+func free() time.Time {
+	return time.Now()
+}
+
+func schedule(clock resilience.Clock) time.Time {
+	_ = time.Now() // want "time.Now in clock-disciplined code"
+	return clock.Now()
+}
+
+type ticker struct {
+	clock resilience.Clock
+}
+
+func (t *ticker) tick() time.Time {
+	time.Sleep(time.Millisecond) // want "time.Sleep in clock-disciplined code"
+	return t.clock.Now()
+}

@@ -1,0 +1,31 @@
+// Fixture: the three ctxfirst violations — misplaced parameter,
+// interface method with a trailing context, and a stored context field
+// — next to the legal context-first form.
+package fixture
+
+import "context"
+
+type job struct {
+	name string
+	ctx  context.Context // want "context.Context stored in a struct field"
+}
+
+type runner interface {
+	Run(name string, ctx context.Context) error // want "context.Context must be the first parameter"
+	Stop(ctx context.Context) error
+}
+
+func do(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+func misordered(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = name
+	return ctx.Err()
+}
+
+var _ = job{}
+var _ runner
+var _ = do
+var _ = misordered

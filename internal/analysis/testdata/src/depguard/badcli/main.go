@@ -1,0 +1,9 @@
+//xbarvet:pkgpath nanoxbar/cmd/xbarsize
+
+// Fixture: a public CLI reaching into internal/ — depguard must fire
+// even on a blank import.
+package fixture
+
+import (
+	_ "nanoxbar/internal/gf2" // want "import of nanoxbar/internal/gf2: examples and public CLIs must use pkg/nanoxbar only"
+)

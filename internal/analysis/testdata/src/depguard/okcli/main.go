@@ -1,0 +1,11 @@
+//xbarvet:pkgpath nanoxbar/cmd/xbarsize
+
+// Fixture: a public CLI that stays on the stdlib and SDK side of the
+// fence — depguard must stay silent.
+package fixture
+
+import "fmt"
+
+func main() {
+	fmt.Println("ok")
+}

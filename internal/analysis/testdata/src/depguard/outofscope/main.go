@@ -1,0 +1,9 @@
+//xbarvet:pkgpath nanoxbar/cmd/repro
+
+// Fixture: an internal tool (not in the public-only scopes) importing
+// internal/ freely — depguard must stay silent.
+package fixture
+
+import (
+	_ "nanoxbar/internal/gf2"
+)

@@ -1,0 +1,34 @@
+//xbarvet:pkgpath nanoxbar/internal/httpapi
+
+// Fixture: code masquerading as the HTTP boundary. Package-level
+// sentinels and %w wrapping are legal; naked construction and raw
+// http.Error bodies are not.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// errSentinel is the sanctioned form: a package-level sentinel.
+var errSentinel = errors.New("fixture: sentinel")
+
+func fail(detail string) error {
+	if detail == "" {
+		return errors.New("empty detail") // want "errors.New inside a boundary function"
+	}
+	return fmt.Errorf("fixture: %s", detail) // want `fmt\.Errorf without %w strips the taxonomy`
+}
+
+func wrap(detail string) error {
+	return fmt.Errorf("fixture %s: %w", detail, errSentinel)
+}
+
+func failDynamic(format string) error {
+	return fmt.Errorf(format) // want "fmt.Errorf with a non-constant format"
+}
+
+func reject(w http.ResponseWriter) {
+	http.Error(w, "bad", http.StatusBadRequest) // want "raw http.Error body"
+}

@@ -1,0 +1,17 @@
+//xbarvet:pkgpath nanoxbar/internal/engine
+
+// Fixture: a non-boundary package — error construction is its own
+// business, so errtaxonomy must stay silent.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+func fail(detail string) error {
+	if detail == "" {
+		return errors.New("empty detail")
+	}
+	return fmt.Errorf("engine fixture: %s", detail)
+}

@@ -1,0 +1,12 @@
+// Fixture: a reasonless //xbarvet:ignore — the driver reports the
+// directive itself, so silent suppression is impossible. The test for
+// this fixture asserts the diagnostic directly (a want comment cannot
+// share the directive's line without becoming its reason).
+package fixture
+
+func answer() int {
+	//xbarvet:ignore
+	return 42
+}
+
+var _ = answer

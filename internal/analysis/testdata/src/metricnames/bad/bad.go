@@ -1,0 +1,35 @@
+// Fixture: every way a metric registration can violate name hygiene —
+// inline literal, bad shape, runtime-assembled name, duplicate
+// constant — plus forwarder tracing through a thin helper.
+package fixture
+
+import "nanoxbar/internal/telemetry"
+
+const (
+	metricFixtureOK   = "nanoxbar_fixture_ok_total"
+	metricFixtureDupA = "nanoxbar_fixture_dup_total"
+	metricFixtureDupB = "nanoxbar_fixture_dup_total"
+	metricBadShape    = "nanoxbarFixtureCamelCase"
+)
+
+func register(reg *telemetry.Registry, suffix string) {
+	reg.CounterFunc(metricFixtureOK, "fine: named const, right shape.", nil)
+	reg.CounterFunc("nanoxbar_fixture_inline_total", "literal.", nil) // want `inline metric name literal "nanoxbar_fixture_inline_total"`
+	reg.CounterFunc(metricBadShape, "camel case.", nil)               // want "must be nanoxbar_- or go_-prefixed snake_case"
+	reg.CounterFunc("nanoxbar_fixture_"+suffix, "assembled.", nil)    // want "must be a named string constant"
+	reg.CounterFunc(metricFixtureDupA, "first owner wins.", nil)
+	reg.CounterFunc(metricFixtureDupB, "second owner loses.", nil) // want `metric name "nanoxbar_fixture_dup_total" already declared at`
+}
+
+// counter forwards its name parameter to a registration call, so the
+// analyzer checks counter's call sites instead of the inner call.
+func counter(reg *telemetry.Registry, name, help string) {
+	reg.CounterFunc(name, help, nil)
+}
+
+const metricFixtureFwd = "nanoxbar_fixture_forwarded_total"
+
+func wire(reg *telemetry.Registry) {
+	counter(reg, metricFixtureFwd, "forwarded const: fine.")
+	counter(reg, "nanoxbar_fixture_fwd_inline_total", "forwarded literal.") // want `inline metric name literal "nanoxbar_fixture_fwd_inline_total"`
+}

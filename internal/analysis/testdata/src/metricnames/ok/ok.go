@@ -1,0 +1,17 @@
+// Fixture: clean registrations — named constants, correct shape, no
+// duplicates — must produce no findings.
+package fixture
+
+import "nanoxbar/internal/telemetry"
+
+const (
+	metricFixtureRequests = "nanoxbar_fixtureok_requests_total"
+	metricFixtureDepth    = "nanoxbar_fixtureok_queue_depth"
+	metricFixtureGoHeap   = "go_fixtureok_heap_bytes"
+)
+
+func register(reg *telemetry.Registry) {
+	reg.CounterFunc(metricFixtureRequests, "requests.", nil)
+	reg.GaugeFunc(metricFixtureDepth, "depth.", nil)
+	reg.GaugeFunc(metricFixtureGoHeap, "heap.", nil)
+}

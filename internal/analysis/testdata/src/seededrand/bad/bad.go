@@ -1,0 +1,14 @@
+//xbarvet:pkgpath nanoxbar/internal/defect
+
+// Fixture: code masquerading as a reproducibility-critical package.
+// Owned seeded generators are legal; the global stream is not.
+package fixture
+
+import "math/rand"
+
+func draw() (int, float64) {
+	r := rand.New(rand.NewSource(1))
+	n := rand.Intn(10)  // want `global math/rand\.Intn breaks seeded reproducibility`
+	f := rand.Float64() // want `global math/rand\.Float64 breaks seeded reproducibility`
+	return n + r.Intn(3), f
+}

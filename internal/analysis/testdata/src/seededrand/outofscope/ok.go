@@ -1,0 +1,11 @@
+//xbarvet:pkgpath nanoxbar/internal/benchreport
+
+// Fixture: a package outside the reproducibility-critical set — the
+// global stream is tolerated there, so seededrand must stay silent.
+package fixture
+
+import "math/rand"
+
+func jitter() int {
+	return rand.Intn(10)
+}

@@ -21,6 +21,35 @@ const (
 	stageDieMap      = "die_map"
 )
 
+// Metric family names registered by the engine. One named constant per
+// family — the metricnames analyzer (cmd/xbarvet) enforces the
+// nanoxbar_ snake_case shape and repo-wide uniqueness at these consts.
+const (
+	metricRequestDuration      = "nanoxbar_request_duration_seconds"
+	metricRequestsTotal        = "nanoxbar_requests_total"
+	metricStageDuration        = "nanoxbar_stage_duration_seconds"
+	metricRequestsInflight     = "nanoxbar_requests_inflight"
+	metricRequestFailures      = "nanoxbar_request_failures_total"
+	metricEngineShed           = "nanoxbar_engine_shed_total"
+	metricEngineDegraded       = "nanoxbar_engine_degraded_total"
+	metricEngineQueueDepth     = "nanoxbar_engine_queue_depth"
+	metricEngineQueuedJobs     = "nanoxbar_engine_queued_jobs"
+	metricSynthCalls           = "nanoxbar_synth_calls_total"
+	metricDiesMapped           = "nanoxbar_dies_mapped_total"
+	metricDefectMapsGenerated  = "nanoxbar_defect_maps_generated_total"
+	metricMapAttempts          = "nanoxbar_map_attempts_total"
+	metricWorkers              = "nanoxbar_workers"
+	metricCacheHits            = "nanoxbar_cache_hits_total"
+	metricCacheMisses          = "nanoxbar_cache_misses_total"
+	metricCacheEvictions       = "nanoxbar_cache_evictions_total"
+	metricCacheLoaded          = "nanoxbar_cache_loaded_total"
+	metricCacheEntries         = "nanoxbar_cache_entries"
+	metricLatticeScalarEvals   = "nanoxbar_lattice_scalar_evals_total"
+	metricLatticeFastFunctions = "nanoxbar_lattice_fast_functions_total"
+	metricLatticeFastImpl      = "nanoxbar_lattice_fast_implements_total"
+	metricLatticeWordBlocks    = "nanoxbar_lattice_word_blocks_total"
+)
+
 // engineMetrics holds the engine's telemetry handles. The histograms
 // are observed on the hot path (lock-free, allocation-free); everything
 // read from existing atomics or shard counters registers as a
@@ -66,39 +95,39 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 
 	for i, k := range []Kind{KindSynthesize, KindCompare, KindMap, KindYield} {
 		kind := string(k)
-		m.reqDur[i] = reg.Histogram("nanoxbar_request_duration_seconds",
+		m.reqDur[i] = reg.Histogram(metricRequestDuration,
 			"End-to-end request latency by kind, from worker pickup to result.",
 			"kind", kind)
 		idx := i
-		reg.CounterFunc("nanoxbar_requests_total", "Requests executed by kind.",
+		reg.CounterFunc(metricRequestsTotal, "Requests executed by kind.",
 			func() float64 { return float64(e.byKind[idx].Load()) }, "kind", kind)
 	}
-	m.queueWait = reg.Histogram("nanoxbar_stage_duration_seconds",
+	m.queueWait = reg.Histogram(metricStageDuration,
 		"Pipeline stage latency.", "stage", stageQueueWait)
-	m.cacheLookup = reg.Histogram("nanoxbar_stage_duration_seconds",
+	m.cacheLookup = reg.Histogram(metricStageDuration,
 		"Pipeline stage latency.", "stage", stageCacheLookup)
-	m.synthesize = reg.Histogram("nanoxbar_stage_duration_seconds",
+	m.synthesize = reg.Histogram(metricStageDuration,
 		"Pipeline stage latency.", "stage", stageSynthesize)
-	m.dieMap = reg.Histogram("nanoxbar_stage_duration_seconds",
+	m.dieMap = reg.Histogram(metricStageDuration,
 		"Pipeline stage latency.", "stage", stageDieMap)
-	m.inflight = reg.Gauge("nanoxbar_requests_inflight",
+	m.inflight = reg.Gauge(metricRequestsInflight,
 		"Requests currently executing on the worker pool.")
 
 	counter := func(name, help string, v func() uint64) {
 		reg.CounterFunc(name, help, func() float64 { return float64(v()) })
 	}
-	counter("nanoxbar_request_failures_total", "Requests that returned an error result.", e.failures.Load)
-	counter("nanoxbar_engine_shed_total", "Requests shed at admission: the job queue stayed saturated past the wait budget.", e.shed.Load)
-	counter("nanoxbar_engine_degraded_total", "Requests served with the degraded fast-path synthesis options after excessive queue wait.", e.degradedReqs.Load)
-	reg.GaugeFunc("nanoxbar_engine_queue_depth", "Job queue buffer size.",
+	counter(metricRequestFailures, "Requests that returned an error result.", e.failures.Load)
+	counter(metricEngineShed, "Requests shed at admission: the job queue stayed saturated past the wait budget.", e.shed.Load)
+	counter(metricEngineDegraded, "Requests served with the degraded fast-path synthesis options after excessive queue wait.", e.degradedReqs.Load)
+	reg.GaugeFunc(metricEngineQueueDepth, "Job queue buffer size.",
 		func() float64 { return float64(e.pool.depth()) })
-	reg.GaugeFunc("nanoxbar_engine_queued_jobs", "Jobs waiting for a worker.",
+	reg.GaugeFunc(metricEngineQueuedJobs, "Jobs waiting for a worker.",
 		func() float64 { return float64(e.pool.queued()) })
-	counter("nanoxbar_synth_calls_total", "Underlying core.Synthesize invocations (cache misses that ran).", e.synthCalls.Load)
-	counter("nanoxbar_dies_mapped_total", "Dies placed through the self-mapper.", e.diesMapped.Load)
-	counter("nanoxbar_defect_maps_generated_total", "Random defect maps drawn.", e.defectMaps.Load)
-	counter("nanoxbar_map_attempts_total", "Self-mapping configurations spent across all dies.", e.mapAttempts.Load)
-	reg.GaugeFunc("nanoxbar_workers", "Worker pool size.",
+	counter(metricSynthCalls, "Underlying core.Synthesize invocations (cache misses that ran).", e.synthCalls.Load)
+	counter(metricDiesMapped, "Dies placed through the self-mapper.", e.diesMapped.Load)
+	counter(metricDefectMapsGenerated, "Random defect maps drawn.", e.defectMaps.Load)
+	counter(metricMapAttempts, "Self-mapping configurations spent across all dies.", e.mapAttempts.Load)
+	reg.GaugeFunc(metricWorkers, "Worker pool size.",
 		func() float64 { return float64(e.workers) })
 
 	// Per-shard cache families. Each family snapshots the shards at
@@ -111,29 +140,29 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 			}
 		})
 	}
-	cacheFamily("nanoxbar_cache_hits_total", "Cache hits by shard.", "counter",
+	cacheFamily(metricCacheHits, "Cache hits by shard.", "counter",
 		func(st cacheShardStats) float64 { return float64(st.hits) })
-	cacheFamily("nanoxbar_cache_misses_total", "Cache misses by shard.", "counter",
+	cacheFamily(metricCacheMisses, "Cache misses by shard.", "counter",
 		func(st cacheShardStats) float64 { return float64(st.misses) })
-	cacheFamily("nanoxbar_cache_evictions_total", "Cache evictions by shard.", "counter",
+	cacheFamily(metricCacheEvictions, "Cache evictions by shard.", "counter",
 		func(st cacheShardStats) float64 { return float64(st.evictions) })
-	cacheFamily("nanoxbar_cache_loaded_total", "Cache entries seeded from a snapshot, by shard.", "counter",
+	cacheFamily(metricCacheLoaded, "Cache entries seeded from a snapshot, by shard.", "counter",
 		func(st cacheShardStats) float64 { return float64(st.loads) })
-	cacheFamily("nanoxbar_cache_entries", "Live cache entries by shard.", "gauge",
+	cacheFamily(metricCacheEntries, "Live cache entries by shard.", "gauge",
 		func(st cacheShardStats) float64 { return float64(st.entries) })
 
 	// Process-wide lattice evaluation counters — the synthesis hot
 	// path's work units, already tracked by internal/lattice.
-	reg.CounterFunc("nanoxbar_lattice_scalar_evals_total",
+	reg.CounterFunc(metricLatticeScalarEvals,
 		"Assignments walked by scalar lattice evaluation.",
 		func() float64 { return float64(lattice.CounterSnapshot().ScalarEvals) })
-	reg.CounterFunc("nanoxbar_lattice_fast_functions_total",
+	reg.CounterFunc(metricLatticeFastFunctions,
 		"Bit-parallel function expansions.",
 		func() float64 { return float64(lattice.CounterSnapshot().FastFunctions) })
-	reg.CounterFunc("nanoxbar_lattice_fast_implements_total",
+	reg.CounterFunc(metricLatticeFastImpl,
 		"Bit-parallel Implements/feasibility checks.",
 		func() float64 { return float64(lattice.CounterSnapshot().FastImplements) })
-	reg.CounterFunc("nanoxbar_lattice_word_blocks_total",
+	reg.CounterFunc(metricLatticeWordBlocks,
 		"64-assignment word blocks percolated.",
 		func() float64 { return float64(lattice.CounterSnapshot().WordBlocks) })
 

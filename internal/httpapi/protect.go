@@ -37,6 +37,13 @@ const maxDeadline = 10 * time.Minute
 // retrying client recovers quickly.
 const shedRetryAfter = 1 * time.Second
 
+// Metric family names of the optional concurrency limiter.
+const (
+	metricHTTPShed            = "nanoxbar_http_shed_total"
+	metricHTTPAdmitted        = "nanoxbar_http_admitted_total"
+	metricHTTPLimitedInflight = "nanoxbar_http_limited_inflight"
+)
+
 // WithLimits bounds concurrent work requests (the /v1/* and /v2/jobs
 // routes; ops routes are exempt so health checks and metric scrapes
 // survive overload). A request that cannot get a slot within maxWait is
@@ -46,13 +53,13 @@ func WithLimits(maxConcurrent int, maxWait time.Duration) Option {
 	return func(s *Server) {
 		if maxConcurrent > 0 {
 			s.limiter = resilience.NewLimiter(maxConcurrent, maxWait)
-			s.reg.CounterFunc("nanoxbar_http_shed_total",
+			s.reg.CounterFunc(metricHTTPShed,
 				"Work requests rejected 429 at the concurrency limit.",
 				func() float64 { return float64(s.limiter.Shed()) })
-			s.reg.CounterFunc("nanoxbar_http_admitted_total",
+			s.reg.CounterFunc(metricHTTPAdmitted,
 				"Work requests admitted through the concurrency limit.",
 				func() float64 { return float64(s.limiter.Admitted()) })
-			s.reg.GaugeFunc("nanoxbar_http_limited_inflight",
+			s.reg.GaugeFunc(metricHTTPLimitedInflight,
 				"Work requests currently holding a concurrency slot.",
 				func() float64 { return float64(s.limiter.Inflight()) })
 		}

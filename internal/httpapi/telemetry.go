@@ -18,6 +18,19 @@ import (
 	"nanoxbar/internal/telemetry"
 )
 
+// Metric family names registered by the HTTP layer. Named constants so
+// the metricnames analyzer (cmd/xbarvet) can verify shape and repo-wide
+// uniqueness at the declaration.
+const (
+	metricHTTPRequestDuration = "nanoxbar_http_request_duration_seconds"
+	metricHTTPRequestsTotal   = "nanoxbar_http_requests_total"
+	metricUptimeSeconds       = "nanoxbar_uptime_seconds"
+	metricHTTPPanics          = "nanoxbar_http_panics_total"
+	metricHTTPDrainRejects    = "nanoxbar_http_drain_rejects_total"
+	metricHTTPDraining        = "nanoxbar_http_draining"
+	metricBuildInfo           = "nanoxbar_build_info"
+)
+
 // statusWriter captures the response status for metrics and access logs
 // while passing Flush through — the v2 NDJSON stream type-asserts its
 // writer to http.Flusher, so swallowing it would buffer the stream.
@@ -53,7 +66,7 @@ func (w *statusWriter) Flush() {
 // on the response header. The path label is the mux pattern, not the
 // raw URL, so metric cardinality stays bounded by the route table.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
-	dur := s.reg.Histogram("nanoxbar_http_request_duration_seconds",
+	dur := s.reg.Histogram(metricHTTPRequestDuration,
 		"HTTP request latency by route, including streaming time.", "path", path)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -77,7 +90,7 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		elapsed := time.Since(start)
 		dur.Observe(elapsed)
-		s.reg.Counter("nanoxbar_http_requests_total",
+		s.reg.Counter(metricHTTPRequestsTotal,
 			"HTTP requests by route and status.",
 			"path", path, "status", strconv.Itoa(status)).Inc()
 		if s.logger.Enabled(r.Context(), slog.LevelInfo) {
@@ -150,15 +163,15 @@ var buildInfo = sync.OnceValue(func() buildDetails {
 // registry: process uptime and the constant build-info gauge (value 1,
 // identity in the labels — the Prometheus idiom for build metadata).
 func (s *Server) registerServerMetrics() {
-	s.reg.GaugeFunc("nanoxbar_uptime_seconds", "Seconds since the server was constructed.",
+	s.reg.GaugeFunc(metricUptimeSeconds, "Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.start).Seconds() })
-	s.reg.CounterFunc("nanoxbar_http_panics_total",
+	s.reg.CounterFunc(metricHTTPPanics,
 		"Handler panics converted into 500s by the recovery middleware.",
 		func() float64 { return float64(s.panics.Load()) })
-	s.reg.CounterFunc("nanoxbar_http_drain_rejects_total",
+	s.reg.CounterFunc(metricHTTPDrainRejects,
 		"Work requests rejected 503 while the server drained for shutdown.",
 		func() float64 { return float64(s.drainRejects.Load()) })
-	s.reg.GaugeFunc("nanoxbar_http_draining",
+	s.reg.GaugeFunc(metricHTTPDraining,
 		"1 while the server is draining for shutdown.",
 		func() float64 {
 			if s.draining.Load() {
@@ -167,7 +180,7 @@ func (s *Server) registerServerMetrics() {
 			return 0
 		})
 	bi := buildInfo()
-	s.reg.GaugeFunc("nanoxbar_build_info", "Build identity; value is always 1.",
+	s.reg.GaugeFunc(metricBuildInfo, "Build identity; value is always 1.",
 		func() float64 { return 1 },
 		"version", bi.Version, "go_version", bi.GoVersion, "revision", bi.Revision)
 }

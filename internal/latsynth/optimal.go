@@ -84,13 +84,17 @@ func OptimalCtx(ctx context.Context, f truthtab.TT, opts OptimalOptions) (*latti
 const cancelCheckNodes = 4096
 
 type optSearch struct {
-	f        truthtab.TT
-	n        int
-	cands    []lattice.Site
-	budget   *int
-	ev       *lattice.Evaluator
-	l        *lattice.Lattice
-	filled   int
+	f      truthtab.TT
+	n      int
+	cands  []lattice.Site
+	budget *int
+	ev     *lattice.Evaluator
+	l      *lattice.Lattice
+	filled int
+	// The search struct lives for exactly one OptimalCtx call and the
+	// recursive dfs reads the context every cancelCheckNodes nodes;
+	// threading ctx through every frame would buy nothing.
+	//xbarvet:ignore ctxfirst: single-call search state, not a retained context
 	ctx      context.Context
 	nodes    int
 	canceled bool

@@ -41,6 +41,9 @@ type ChaosConfig struct {
 	// short: reads stop partway with io.ErrUnexpectedEOF, as if the
 	// connection died mid-stream (for NDJSON, a truncated frame).
 	TruncateRate float64
+	// Clock times latency spikes (nil = Wall). Tests inject a Fake so
+	// a spike schedule is asserted without real sleeping.
+	Clock Clock
 }
 
 // normalize applies the latency defaults.
@@ -73,8 +76,9 @@ type ChaosStats struct {
 // concurrent use; concurrency does reorder which request draws which
 // fault, but the fault mix is seed-stable.
 type ChaosTransport struct {
-	next http.RoundTripper
-	cfg  ChaosConfig
+	next  http.RoundTripper
+	cfg   ChaosConfig
+	clock Clock
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -93,7 +97,11 @@ func NewChaosTransport(next http.RoundTripper, cfg ChaosConfig) *ChaosTransport 
 		next = http.DefaultTransport
 	}
 	cfg = cfg.normalize()
-	return &ChaosTransport{next: next, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = Wall()
+	}
+	return &ChaosTransport{next: next, cfg: cfg, clock: clock, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // Stats snapshots the injected-fault counters.
@@ -144,12 +152,8 @@ func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 
 	if latency > 0 {
 		t.latencies.Add(1)
-		timer := time.NewTimer(latency)
-		select {
-		case <-timer.C:
-		case <-req.Context().Done():
-			timer.Stop()
-			return nil, req.Context().Err()
+		if err := t.clock.Sleep(req.Context(), latency); err != nil {
+			return nil, err
 		}
 	}
 	if status != 0 {

@@ -61,17 +61,18 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 		l.shed.Add(1)
 		return ErrLimited
 	}
-	t := time.NewTimer(l.maxWait)
-	defer t.Stop()
+	waitCtx, cancel := context.WithTimeout(ctx, l.maxWait)
+	defer cancel()
 	select {
 	case l.slots <- struct{}{}:
 		l.admitted.Add(1)
 		return nil
-	case <-t.C:
+	case <-waitCtx.Done():
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		l.shed.Add(1)
 		return ErrLimited
-	case <-ctx.Done():
-		return ctx.Err()
 	}
 }
 
