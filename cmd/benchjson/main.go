@@ -46,7 +46,7 @@ import (
 // BISM repair, transient Monte Carlo) gated since the bit-parallel
 // rewrite, and the telemetry substrate (histogram observation sits
 // inside the per-die loop, so its cost is gated like any hot path).
-const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine,./internal/httpapi,./internal/defect,./internal/bism,./internal/redundancy,./internal/telemetry"
+const defaultPkgs = "./internal/lattice,./internal/latsynth,./internal/qm,./internal/engine,./internal/httpapi,./internal/defect,./internal/bism,./internal/redundancy,./internal/telemetry,./internal/yield"
 
 func main() {
 	out := flag.String("out", "BENCH_lattice.json", "output JSON path (- for stdout)")

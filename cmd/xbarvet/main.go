@@ -1,6 +1,6 @@
 // Command xbarvet runs the project's invariant analyzers (package
 // internal/analysis) over module packages: depguard, clockdiscipline,
-// seededrand, metricnames, errtaxonomy, ctxfirst. It is the
+// seededrand, metricnames, errtaxonomy, ctxfirst, lanegate. It is the
 // static-analysis companion to go vet — the conventions the repo's
 // correctness story rests on, machine-checked.
 //

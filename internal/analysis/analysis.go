@@ -61,6 +61,12 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// Finish, if non-nil, runs once after every package pass — the hook
+	// for whole-module invariants that live outside loaded Go packages
+	// (CI workflow files, test-only declarations). Findings it reports
+	// skip //xbarvet:ignore filtering, since they anchor to files the
+	// loader never parsed.
+	Finish func(l *Loader, report func(Diagnostic))
 }
 
 // Pass is the per-(analyzer, package) invocation context.
@@ -93,6 +99,7 @@ func Analyzers() []*Analyzer {
 		newMetricNames(),
 		newErrTaxonomy(),
 		newCtxFirst(),
+		newLaneGate(),
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 // TestAnalyzerRoster pins the suite's membership: dropping an analyzer
 // from Analyzers() must fail loudly, not silently shrink coverage.
 func TestAnalyzerRoster(t *testing.T) {
-	wantNames := []string{"depguard", "clockdiscipline", "seededrand", "metricnames", "errtaxonomy", "ctxfirst"}
+	wantNames := []string{"depguard", "clockdiscipline", "seededrand", "metricnames", "errtaxonomy", "ctxfirst", "lanegate"}
 	got := Analyzers()
 	if len(got) != len(wantNames) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(wantNames))

@@ -76,6 +76,11 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) Result {
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(l, func(d Diagnostic) { raw = append(raw, d) })
+		}
+	}
 	byFile := make(map[string]*Package)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {

@@ -13,6 +13,8 @@ var seededRandScopes = []string{
 	"nanoxbar/internal/engine",
 	"nanoxbar/internal/bism",
 	"nanoxbar/internal/resilience",
+	"nanoxbar/internal/yield",
+	"nanoxbar/internal/xrand",
 }
 
 // seededRandAllowed is the default-deny allowlist: constructors that

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sync"
 
 	"nanoxbar/internal/dreduce"
 	"nanoxbar/internal/truthtab"
@@ -186,12 +187,21 @@ func Suite() []Spec {
 	}
 }
 
+// byName indexes the suite once: constructing it materializes every
+// truth table (the random and D-reducible families are not cheap), far
+// too much work to redo on each engine request resolution. The shared
+// specs are treated as read-only by all callers.
+var byName = sync.OnceValue(func() map[string]Spec {
+	suite := Suite()
+	m := make(map[string]Spec, len(suite))
+	for _, s := range suite {
+		m[s.Name] = s
+	}
+	return m
+})
+
 // ByName returns the suite function with the given name.
 func ByName(name string) (Spec, bool) {
-	for _, s := range Suite() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Spec{}, false
+	s, ok := byName()[name]
+	return s, ok
 }

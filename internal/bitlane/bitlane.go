@@ -1,0 +1,38 @@
+// Package bitlane holds the shared lane-word helpers of the
+// bit-sliced subsystems: the redundancy engine packs 64 Monte Carlo
+// trials per word, the yield engine packs 64 dies per word, and both
+// need the same two primitives — a tail mask for partial lane groups
+// and a 64×64 bit-matrix transpose for moving between entity-major and
+// lane-major layouts.
+package bitlane
+
+// Mask returns a word with the low lanes bits set: the valid-lane mask
+// of a group holding lanes < 64 entities. Mask(64) is all ones.
+func Mask(lanes int) uint64 {
+	if lanes <= 0 {
+		return 0
+	}
+	if lanes >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(lanes) - 1
+}
+
+// Transpose64 transposes the 64×64 bit matrix a in place, treating bit
+// j of a[i] as element (i,j): afterwards bit i of a[j] holds the old
+// bit j of a[i]. Recursive block swaps (Hacker's Delight §7-3), six
+// rounds of masked exchanges — no scratch, no branches on data.
+func Transpose64(a *[64]uint64) {
+	j, m := 32, uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>uint(j) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+		// The mask halves with j: after the swap at stride j, the next
+		// round mixes within the j/2-wide sub-blocks.
+		j >>= 1
+		m ^= m << uint(j)
+	}
+}

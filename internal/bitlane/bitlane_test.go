@@ -1,0 +1,83 @@
+package bitlane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		lanes int
+		want  uint64
+	}{
+		{-3, 0}, {0, 0}, {1, 1}, {2, 3}, {63, 1<<63 - 1},
+		{64, ^uint64(0)}, {65, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.lanes); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.lanes, got, c.want)
+		}
+	}
+}
+
+// transposeNaive is the bit-by-bit reference: out (j,i) = in (i,j).
+func transposeNaive(a *[64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			out[j] |= (a[i] >> uint(j) & 1) << uint(i)
+		}
+	}
+	return out
+}
+
+func TestTranspose64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var a [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		want := transposeNaive(&a)
+		got := a
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose mismatch", trial)
+		}
+		// An involution: transposing back restores the input.
+		Transpose64(&got)
+		if got != a {
+			t.Fatalf("trial %d: double transpose is not identity", trial)
+		}
+	}
+}
+
+func TestTranspose64SingleBits(t *testing.T) {
+	for i := 0; i < 64; i += 7 {
+		for j := 0; j < 64; j += 5 {
+			var a [64]uint64
+			a[i] = 1 << uint(j)
+			Transpose64(&a)
+			for r := 0; r < 64; r++ {
+				want := uint64(0)
+				if r == j {
+					want = 1 << uint(i)
+				}
+				if a[r] != want {
+					t.Fatalf("bit (%d,%d): row %d = %#x, want %#x", i, j, r, a[r], want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	var a [64]uint64
+	for i := range a {
+		a[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transpose64(&a)
+	}
+}

@@ -311,14 +311,18 @@ func UniformCrosspoint(density float64) Params {
 }
 
 // geoGap returns the number of Bernoulli(p) failures before the next
-// success, drawn by inverting the geometric CDF — the gap between
-// consecutive defects in skip sampling. invLogQ is 1/log(1-p),
+// success — the gap between consecutive defects in skip sampling. A
+// geometric deviate is the floor of an exponential one rescaled by the
+// rate λ = -log1p(-p): P(gap=k) = e^{-λk}(1-e^{-λ}) = (1-p)^k·p. The
+// exponential comes from the ziggurat (ExpFloat64), which is table
+// lookups on almost every draw — no math.Log on the hot path, unlike
+// the textbook log(1-U)/log(1-p) inversion. invLambda is 1/λ,
 // precomputed by the caller since p is constant across a sweep.
-func geoGap(rng *rand.Rand, invLogQ float64) int {
-	// 1-U ∈ (0,1]; log(1-U) ≤ 0 and invLogQ < 0, so the product is
-	// ≥ 0. Large gaps are capped so callers can add them to indices
-	// without overflow.
-	g := math.Log(1-rng.Float64()) * invLogQ
+func geoGap(rng *rand.Rand, invLambda float64) int {
+	// ExpFloat64 ≥ 0 and invLambda > 0, so the product is ≥ 0. Large
+	// gaps are capped so callers can add them to indices without
+	// overflow.
+	g := rng.ExpFloat64() * invLambda
 	if g >= math.MaxInt32 {
 		return math.MaxInt32
 	}
@@ -342,10 +346,10 @@ func VisitBernoulli(rng *rand.Rand, p float64, n int, visit func(i int)) {
 		}
 		return
 	}
-	invLogQ := 1 / math.Log1p(-p)
-	for i := geoGap(rng, invLogQ); i < n; {
+	invLambda := -1 / math.Log1p(-p)
+	for i := geoGap(rng, invLambda); i < n; {
 		visit(i)
-		g := geoGap(rng, invLogQ)
+		g := geoGap(rng, invLambda)
 		if i > n-1-g { // i + 1 + g overflow-safe termination
 			return
 		}
@@ -360,6 +364,60 @@ func Random(r, c int, p Params, rng *rand.Rand) *Map {
 	return m
 }
 
+// clusterPt is one cluster center of a clustered draw.
+type clusterPt struct{ r, c int }
+
+// drawClusters draws the cluster-center geometry — the shared RNG
+// prefix of every die draw, scalar map (RandomInto) and lane plane
+// (LanePlanes.DrawLane) alike. Nil when the parameters are unclustered.
+func drawClusters(r, c int, p Params, rng *rand.Rand) []clusterPt {
+	if !p.Clustered || p.ClusterCount <= 0 {
+		return nil
+	}
+	centers := make([]clusterPt, p.ClusterCount)
+	for i := range centers {
+		centers[i] = clusterPt{rng.Intn(r), rng.Intn(c)}
+	}
+	return centers
+}
+
+// boostAt returns the local probability multiplier of site (ri,ci):
+// ClusterBoost within ClusterRadius (Manhattan) of any center, 1
+// elsewhere.
+func boostAt(centers []clusterPt, p Params, ri, ci int) float64 {
+	for _, ct := range centers {
+		dr, dc := ri-ct.r, ci-ct.c
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr+dc <= p.ClusterRadius {
+			return p.ClusterBoost
+		}
+	}
+	return 1
+}
+
+// envelopeP is the largest per-site total defect probability anywhere
+// on the die — the skip sampler's envelope. Sites under the envelope
+// are visited sparsely; each visit is thinned to the site's own
+// (possibly boosted) stuck-open/stuck-closed split, preserving the
+// scalar reference's marginals P(open)=min(pO·b,1),
+// P(closed)=min(pO·b+pC·b,1)-min(pO·b,1).
+func envelopeP(p Params) float64 {
+	boostMax := 1.0
+	if p.Clustered && p.ClusterCount > 0 && p.ClusterBoost > 1 {
+		boostMax = p.ClusterBoost
+	}
+	pEnv := minF(p.PStuckOpen*boostMax, 1) + minF(p.PStuckClosed*boostMax, 1)
+	if pEnv > 1 {
+		pEnv = 1
+	}
+	return pEnv
+}
+
 // RandomInto redraws m in place from p — Random without the allocation,
 // for per-worker die scratch. The crosspoint planes are filled by skip
 // sampling over the R·C sites: defects arrive at geometric gaps under an
@@ -367,54 +425,21 @@ func Random(r, c int, p Params, rng *rand.Rand) *Map {
 // to the local site probability, so a 64×64 die at 1% density costs ~40
 // random draws instead of 4096. The draw stream differs from the
 // retained scalar reference (RandomScalar) — distributions match, exact
-// maps for a given seed do not.
+// maps for a given seed do not. It is, however, identical draw for draw
+// with LanePlanes.DrawLane: the same seed yields the same die through
+// either path, which is the contract the lane yield engine's demotion
+// path rests on.
 func RandomInto(m *Map, p Params, rng *rand.Rand) {
 	m.Reset()
 	r, c := m.R, m.C
-
-	// Cluster geometry, drawn before the crosspoint sweep like the
-	// scalar reference.
-	type pt struct{ r, c int }
-	var centers []pt
-	boostAt := func(int, int) float64 { return 1 }
-	boostMax := 1.0
-	if p.Clustered && p.ClusterCount > 0 {
-		centers = make([]pt, p.ClusterCount)
-		for i := range centers {
-			centers[i] = pt{rng.Intn(r), rng.Intn(c)}
-		}
-		if p.ClusterBoost > 1 {
-			boostMax = p.ClusterBoost
-		}
-		boostAt = func(ri, ci int) float64 {
-			for _, ct := range centers {
-				dr, dc := ri-ct.r, ci-ct.c
-				if dr < 0 {
-					dr = -dr
-				}
-				if dc < 0 {
-					dc = -dc
-				}
-				if dr+dc <= p.ClusterRadius {
-					return p.ClusterBoost
-				}
-			}
-			return 1
-		}
-	}
-
-	// Envelope: the largest per-site total defect probability anywhere
-	// on the die. Sites under the envelope are visited sparsely; each
-	// visit is thinned to the site's own (possibly boosted) stuck-open/
-	// stuck-closed split, preserving the scalar reference's marginals
-	// P(open)=min(pO·b,1), P(closed)=min(pO·b+pC·b,1)-min(pO·b,1).
-	pEnv := minF(p.PStuckOpen*boostMax, 1) + minF(p.PStuckClosed*boostMax, 1)
-	if pEnv > 1 {
-		pEnv = 1
-	}
+	centers := drawClusters(r, c, p, rng)
+	pEnv := envelopeP(p)
 	VisitBernoulli(rng, pEnv, r*c, func(i int) {
 		ri, ci := i/c, i%c
-		b := boostAt(ri, ci)
+		b := 1.0
+		if centers != nil {
+			b = boostAt(centers, p, ri, ci)
+		}
 		po := minF(p.PStuckOpen*b, 1)
 		pc := minF(p.PStuckClosed*b, 1)
 		u := rng.Float64() * pEnv

@@ -1,0 +1,165 @@
+package defect
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LanePlanes holds the defect state of up to 64 same-shape dies in
+// lane-word form: one uint64 per crosspoint site and per wire, with bit
+// L belonging to die (lane) L. Where Map is site-bit/die-instance
+// (words run along a row of one die), LanePlanes is the transpose —
+// die-bit/site-instance — which is what lets the lane yield engine ask
+// "which of these 64 dies fail this candidate mapping?" as a handful of
+// word ORs instead of 64 separate map walks.
+//
+// Layout:
+//
+//   - open/clsd: R·C words, site-major — word r*C+c, bit L set iff die
+//     L's crosspoint (r,c) is stuck open / stuck closed.
+//   - rowBroken/colBroken: one word per line — word r bit L set iff die
+//     L's row wire r is broken.
+//   - rowBridge/colBridge: one word per adjacent line pair — word r bit
+//     L set iff die L bridges rows r and r+1 (max(R-1,0) words).
+//
+// A group is filled by Reset followed by one DrawLane per die; lanes
+// never drawn stay defect-free (all-zero), so callers must mask results
+// to the lanes they actually drew.
+type LanePlanes struct {
+	R, C int
+	open []uint64
+	clsd []uint64
+
+	rowBroken []uint64
+	colBroken []uint64
+	rowBridge []uint64
+	colBridge []uint64
+}
+
+// NewLanePlanes returns an all-healthy 64-die group of R×C planes.
+func NewLanePlanes(r, c int) *LanePlanes {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("defect: invalid lane shape %d×%d", r, c))
+	}
+	return &LanePlanes{
+		R: r, C: c,
+		open: make([]uint64, r*c), clsd: make([]uint64, r*c),
+		rowBroken: make([]uint64, r), colBroken: make([]uint64, c),
+		rowBridge: make([]uint64, maxI(r-1, 0)), colBridge: make([]uint64, maxI(c-1, 0)),
+	}
+}
+
+// Reset clears every lane of every plane, making the group reusable
+// without reallocation (the lane runner's per-worker scratch).
+func (lp *LanePlanes) Reset() {
+	clearWords(lp.open)
+	clearWords(lp.clsd)
+	clearWords(lp.rowBroken)
+	clearWords(lp.colBroken)
+	clearWords(lp.rowBridge)
+	clearWords(lp.colBridge)
+}
+
+// DrawLane draws die `lane` into the group from p, using exactly the
+// same random stream as RandomInto on a same-shape Map: seed a source
+// identically and the lane's plane bits equal the map's, draw for draw
+// and bit for bit. That equivalence (pinned by the property tests) is
+// what lets the yield engine's demotion path reseed and redraw a
+// scalar Map for a failing lane without any state hand-off. The lane
+// must be clear (Reset, or never drawn since); DrawLane only ORs bits
+// in.
+func (lp *LanePlanes) DrawLane(lane int, p Params, rng *rand.Rand) {
+	if lane < 0 || lane > 63 {
+		panic(fmt.Sprintf("defect: lane %d outside [0,64)", lane))
+	}
+	bit := uint64(1) << uint(lane)
+	r, c := lp.R, lp.C
+	centers := drawClusters(r, c, p, rng)
+	pEnv := envelopeP(p)
+	open, clsd := lp.open, lp.clsd
+	VisitBernoulli(rng, pEnv, r*c, func(i int) {
+		b := 1.0
+		if centers != nil {
+			b = boostAt(centers, p, i/c, i%c)
+		}
+		po := minF(p.PStuckOpen*b, 1)
+		pc := minF(p.PStuckClosed*b, 1)
+		u := rng.Float64() * pEnv
+		switch {
+		case u < po:
+			open[i] |= bit
+		case u < minF(po+pc, 1):
+			clsd[i] |= bit
+		}
+	})
+
+	VisitBernoulli(rng, p.PRowBreak, r, func(i int) { lp.rowBroken[i] |= bit })
+	VisitBernoulli(rng, p.PColBreak, c, func(i int) { lp.colBroken[i] |= bit })
+	VisitBernoulli(rng, p.PRowBridge, r-1, func(i int) { lp.rowBridge[i] |= bit })
+	VisitBernoulli(rng, p.PColBridge, c-1, func(i int) { lp.colBridge[i] |= bit })
+}
+
+// OpenWords returns the stuck-open plane, R·C site-major lane words
+// (word r*C+c, bit L = die L). The slice aliases the group: read-only.
+func (lp *LanePlanes) OpenWords() []uint64 { return lp.open }
+
+// ClosedWords returns the stuck-closed plane. Read-only.
+func (lp *LanePlanes) ClosedWords() []uint64 { return lp.clsd }
+
+// RowBrokenWords returns the broken-row plane, one lane word per row.
+// Read-only.
+func (lp *LanePlanes) RowBrokenWords() []uint64 { return lp.rowBroken }
+
+// ColBrokenWords returns the broken-column plane. Read-only.
+func (lp *LanePlanes) ColBrokenWords() []uint64 { return lp.colBroken }
+
+// RowBridgeWords returns the row-bridge plane, one lane word per
+// adjacent row pair (word r = bridge between rows r and r+1).
+// Read-only.
+func (lp *LanePlanes) RowBridgeWords() []uint64 { return lp.rowBridge }
+
+// ColBridgeWords returns the column-bridge plane. Read-only.
+func (lp *LanePlanes) ColBridgeWords() []uint64 { return lp.colBridge }
+
+// ExtractLane copies die `lane` out of the group into dst (same shape),
+// overwriting it — the test-side bridge between the lane and scalar
+// representations.
+func (lp *LanePlanes) ExtractLane(dst *Map, lane int) {
+	if dst.R != lp.R || dst.C != lp.C {
+		panic(fmt.Sprintf("defect: extract %d×%d lane into %d×%d map", lp.R, lp.C, dst.R, dst.C))
+	}
+	if lane < 0 || lane > 63 {
+		panic(fmt.Sprintf("defect: lane %d outside [0,64)", lane))
+	}
+	bit := uint64(1) << uint(lane)
+	dst.Reset()
+	for r := 0; r < lp.R; r++ {
+		for c := 0; c < lp.C; c++ {
+			switch i := r*lp.C + c; {
+			case lp.open[i]&bit != 0:
+				dst.Set(r, c, StuckOpen)
+			case lp.clsd[i]&bit != 0:
+				dst.Set(r, c, StuckClosed)
+			}
+		}
+	}
+	for r := 0; r < lp.R; r++ {
+		dst.SetRowBroken(r, lp.rowBroken[r]&bit != 0)
+	}
+	for c := 0; c < lp.C; c++ {
+		dst.SetColBroken(c, lp.colBroken[c]&bit != 0)
+	}
+	for r := 0; r+1 < lp.R; r++ {
+		dst.SetRowBridge(r, lp.rowBridge[r]&bit != 0)
+	}
+	for c := 0; c+1 < lp.C; c++ {
+		dst.SetColBridge(c, lp.colBridge[c]&bit != 0)
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

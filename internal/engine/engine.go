@@ -28,6 +28,8 @@ import (
 	"nanoxbar/internal/qm"
 	"nanoxbar/internal/telemetry"
 	"nanoxbar/internal/truthtab"
+	"nanoxbar/internal/xrand"
+	"nanoxbar/internal/yield"
 )
 
 // Config sizes the engine.
@@ -59,6 +61,11 @@ type Config struct {
 	// exact search, no post-reduction) instead of the defaults, trading
 	// area optimality for latency under load. 0 disables degradation.
 	DegradeAfter time.Duration
+
+	// Yield executes KindYield sweeps (default yield.LaneRunner{}, the
+	// bit-sliced 64-dies-per-word path; yield.ScalarRunner{} is the
+	// retained scalar reference).
+	Yield yield.Runner
 }
 
 // defaultMaxAttempts bounds self-mapping effort when a request does not
@@ -104,10 +111,17 @@ type Engine struct {
 
 	// Fault-path counters: dies placed through the self-mapper, random
 	// defect maps drawn, and total self-mapping configurations spent —
-	// mean attempts per die is mapAttempts/diesMapped.
+	// mean attempts per die is mapAttempts/diesMapped. diesFast counts
+	// yield-sweep dies resolved by the lane fast path's candidate
+	// schedule; diesDemoted counts the ones that fell back to the scalar
+	// mapper.
 	diesMapped  atomic.Uint64
 	defectMaps  atomic.Uint64
 	mapAttempts atomic.Uint64
+	diesFast    atomic.Uint64
+	diesDemoted atomic.Uint64
+
+	yield yield.Runner
 }
 
 // New starts an engine.
@@ -124,6 +138,9 @@ func New(cfg Config) *Engine {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
+	if cfg.Yield == nil {
+		cfg.Yield = yield.LaneRunner{}
+	}
 	e := &Engine{
 		cache:        newShardedCache(cfg.CacheSize, cfg.CacheShards),
 		pool:         newPool(cfg.Workers, cfg.QueueDepth),
@@ -131,6 +148,7 @@ func New(cfg Config) *Engine {
 		maxQueueWait: cfg.MaxQueueWait,
 		degradeAfter: cfg.DegradeAfter,
 		logger:       cfg.Logger,
+		yield:        cfg.Yield,
 	}
 	e.met = newEngineMetrics(e)
 	return e
@@ -529,7 +547,7 @@ func (e *Engine) runMap(ctx context.Context, req Request, degraded bool) Result 
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
-	src, rng := newDieRand()
+	src, rng := xrand.New()
 	src.Seed(req.Seed)
 	var chip *defect.Map
 	if req.Chip != nil {
@@ -549,12 +567,6 @@ func (e *Engine) runMap(ctx context.Context, req Request, degraded bool) Result 
 		return errResult(req.Kind, err)
 	}
 	return Result{Kind: req.Kind, Map: mr, Degraded: deg}
-}
-
-// subSeed derives the deterministic per-die seed of die i (splitmix64
-// increment keeps neighboring dies decorrelated).
-func subSeed(seed int64, i int) int64 {
-	return seed + int64(i)*-0x61c8864680b583eb
 }
 
 func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc, degraded bool) Result {
@@ -588,79 +600,71 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc, degra
 	if err != nil {
 		return errResult(req.Kind, err)
 	}
+	app := imp.App()
+	if app.R > size || app.C > size {
+		return errResult(req.Kind, apierr.Infeasible("engine: implementation %d×%d exceeds chip %d×%d", app.R, app.C, size, size))
+	}
 
-	// Fan the dies across fresh goroutines (not the pool: pool jobs
-	// waiting on sub-jobs of the same pool can deadlock when every
-	// worker holds a yield request). Each die gets its own sub-seeded
-	// RNG stream, so results are independent of scheduling order; onDie
-	// fires in completion order under emitMu.
+	// Hand the sweep to the configured yield runner — by default the
+	// bit-sliced lane path: 64 dies drawn per lane-word group, one BIST
+	// session per candidate mapping covering the whole group, and only
+	// the dies no candidate fits demoted to the scalar mapper. Each die
+	// is sub-seeded from req.Seed, so results are independent of worker
+	// scheduling; emit fires serialized, in die order within a group.
+	spec := yield.Spec{
+		App:         app,
+		Scheme:      scheme,
+		ChipSize:    size,
+		Params:      defect.UniformCrosspoint(req.Density),
+		Dies:        chips,
+		Seed:        req.Seed,
+		MaxAttempts: maxAttempts,
+		Parallel:    e.workers,
+	}
 	type dieOut struct {
-		mr  *MapResult
+		st  bism.Stats
 		err error
 	}
 	outs := make([]dieOut, chips)
-	par := e.workers
-	if par > chips {
-		par = chips
-	}
-	params := defect.UniformCrosspoint(req.Density)
-	// oneDie maps die i on the worker's pooled scratch — the defect map
-	// is redrawn in place and the RNG reseeded, so the per-die cost is
-	// the sparse draw plus the repair attempts, with zero allocations
-	// beyond the die's own result. Panics become that die's error
-	// instead of unwinding the bare goroutine (which would kill the
-	// process).
-	oneDie := func(i int, chip *defect.Map, src *splitmixSource, rng *rand.Rand) (mr *MapResult, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = apierr.Internal("engine: panic mapping die %d: %v", i, r)
+	runErr := e.yield.Run(ctx, spec, func(dr yield.DieResult) {
+		if dr.Err != nil {
+			outs[dr.Die] = dieOut{err: apierr.Internal("engine: die %d: %v", dr.Die, dr.Err)}
+			if onDie != nil {
+				onDie(dr.Die, nil, outs[dr.Die].err)
 			}
-		}()
-		src.Seed(subSeed(req.Seed, i))
-		defect.RandomInto(chip, params, rng)
+			return
+		}
 		e.defectMaps.Add(1)
-		return e.mapOnce(imp, chip, scheme, maxAttempts, rng)
-	}
-	var (
-		next   atomic.Int64
-		wg     sync.WaitGroup
-		emitMu sync.Mutex
-	)
-	done := ctx.Done()
-	wg.Add(par)
-	for w := 0; w < par; w++ {
-		go func() {
-			defer wg.Done()
-			// Per-worker die scratch, reused across all dies the worker
-			// draws from the shared counter.
-			src, rng := newDieRand()
-			chip := defect.NewMap(size, size)
-			for {
-				// The die boundary is the cancellation point: a sweep
-				// canceled mid-flight stops drawing new dies; dies
-				// already being mapped finish.
-				select {
-				case <-done:
-					return
-				default:
-				}
-				i := int(next.Add(1)) - 1
-				if i >= chips {
-					return
-				}
-				mr, err := oneDie(i, chip, src, rng)
-				outs[i] = dieOut{mr: mr, err: err}
-				if onDie != nil {
-					emitMu.Lock()
-					onDie(i, mr, err)
-					emitMu.Unlock()
-				}
+		e.diesMapped.Add(1)
+		e.mapAttempts.Add(uint64(dr.Stats.Configs))
+		if dr.Fast {
+			e.diesFast.Add(1)
+		} else {
+			e.diesDemoted.Add(1)
+		}
+		outs[dr.Die] = dieOut{st: dr.Stats}
+		if onDie != nil {
+			// The MapResult is materialized only for streaming
+			// observers; the aggregate below reads the raw stats.
+			mr := &MapResult{
+				Success:   dr.Stats.Success,
+				Configs:   dr.Stats.Configs,
+				BISTCalls: dr.Stats.BISTCalls,
+				BISDCalls: dr.Stats.BISDCalls,
+				ChipSize:  size,
 			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return errResult(req.Kind, apierr.Canceled(err))
+			if dr.Mapping != nil {
+				mr.Rows = dr.Mapping.Rows
+				mr.Cols = dr.Mapping.Cols
+			}
+			onDie(dr.Die, mr, nil)
+		}
+	})
+	if runErr != nil {
+		if errors.Is(runErr, ctx.Err()) {
+			return errResult(req.Kind, apierr.Canceled(runErr))
+		}
+		return errResult(req.Kind, apierr.Internal("engine: yield runner %s: %v", e.yield.Name(), runErr))
 	}
 
 	yr := &YieldResult{Chips: chips}
@@ -669,12 +673,12 @@ func (e *Engine) runYield(ctx context.Context, req Request, onDie DieFunc, degra
 		if o.err != nil {
 			return errResult(req.Kind, o.err)
 		}
-		if o.mr.Success {
+		if o.st.Success {
 			yr.Successes++
 		}
-		configs += o.mr.Configs
-		bist += o.mr.BISTCalls
-		bisd += o.mr.BISDCalls
+		configs += o.st.Configs
+		bist += o.st.BISTCalls
+		bisd += o.st.BISDCalls
 	}
 	yr.SuccessRate = float64(yr.Successes) / float64(chips)
 	yr.AvgConfigs = float64(configs) / float64(chips)
@@ -719,6 +723,12 @@ type Stats struct {
 	DefectMapsGenerated uint64  `json:"defect_maps_generated"`
 	MapAttempts         uint64  `json:"map_attempts_total"`
 	MeanMapAttempts     float64 `json:"mean_map_attempts"`
+	// DiesCheckedFast counts yield-sweep dies resolved by the lane
+	// path's word-parallel candidate schedule; DiesDemotedScalar counts
+	// the dies that failed every candidate and fell back to the scalar
+	// mapper. Their sum is the yield contribution to DiesMapped.
+	DiesCheckedFast   uint64 `json:"dies_checked_fast"`
+	DiesDemotedScalar uint64 `json:"dies_demoted_scalar"`
 	// Evaluation counts process-wide lattice evaluation work — the
 	// synthesis hot path — split into the per-assignment scalar walks
 	// and the bit-parallel word-block percolations that replaced them.
@@ -739,6 +749,8 @@ func (e *Engine) Stats() Stats {
 		DefectMapsGenerated: e.defectMaps.Load(),
 		MapAttempts:         attempts,
 		MeanMapAttempts:     mean,
+		DiesCheckedFast:     e.diesFast.Load(),
+		DiesDemotedScalar:   e.diesDemoted.Load(),
 		Evaluation:          lattice.CounterSnapshot(),
 		Workers:             e.workers,
 		CacheShards:         len(e.cache.shards),

@@ -8,6 +8,7 @@ import (
 	"nanoxbar/internal/bism"
 	"nanoxbar/internal/core"
 	"nanoxbar/internal/defect"
+	"nanoxbar/internal/xrand"
 )
 
 // Serving-path baselines: how much the cache saves on the shared
@@ -82,7 +83,7 @@ func BenchmarkMapOnce(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	src, rng := newDieRand()
+	src, rng := xrand.New()
 	chip := defect.NewMap(64, 64)
 	params := defect.UniformCrosspoint(0.02)
 	b.ReportAllocs()

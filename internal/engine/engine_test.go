@@ -243,6 +243,11 @@ func TestYieldSweep(t *testing.T) {
 	if st.DiesMapped != 80 || st.DefectMapsGenerated != 80 {
 		t.Fatalf("dies=%d maps=%d, want 80/80", st.DiesMapped, st.DefectMapsGenerated)
 	}
+	// Every yield die either resolved on the lane fast path or was
+	// demoted to the scalar mapper.
+	if st.DiesCheckedFast+st.DiesDemotedScalar != 80 {
+		t.Fatalf("fast=%d demoted=%d, want sum 80", st.DiesCheckedFast, st.DiesDemotedScalar)
+	}
 	if st.MapAttempts < st.DiesMapped {
 		t.Fatalf("map attempts %d below dies %d", st.MapAttempts, st.DiesMapped)
 	}

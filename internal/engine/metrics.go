@@ -38,6 +38,8 @@ const (
 	metricDiesMapped           = "nanoxbar_dies_mapped_total"
 	metricDefectMapsGenerated  = "nanoxbar_defect_maps_generated_total"
 	metricMapAttempts          = "nanoxbar_map_attempts_total"
+	metricDiesCheckedFast      = "nanoxbar_dies_checked_fast_total"
+	metricDiesDemotedScalar    = "nanoxbar_dies_demoted_scalar_total"
 	metricWorkers              = "nanoxbar_workers"
 	metricCacheHits            = "nanoxbar_cache_hits_total"
 	metricCacheMisses          = "nanoxbar_cache_misses_total"
@@ -127,6 +129,8 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	counter(metricDiesMapped, "Dies placed through the self-mapper.", e.diesMapped.Load)
 	counter(metricDefectMapsGenerated, "Random defect maps drawn.", e.defectMaps.Load)
 	counter(metricMapAttempts, "Self-mapping configurations spent across all dies.", e.mapAttempts.Load)
+	counter(metricDiesCheckedFast, "Yield-sweep dies resolved by the lane path's word-parallel candidate schedule.", e.diesFast.Load)
+	counter(metricDiesDemotedScalar, "Yield-sweep dies demoted to the scalar mapper after failing every candidate.", e.diesDemoted.Load)
 	reg.GaugeFunc(metricWorkers, "Worker pool size.",
 		func() float64 { return float64(e.workers) })
 

@@ -185,16 +185,23 @@ func TestAblationSynthesis(t *testing.T) {
 
 func TestAblationHybridThreshold(t *testing.T) {
 	r := AblationHybridThreshold()
-	// The sweep must produce costs for every budget; the largest budget
-	// behaves like blind (more configs at this density), so the best
-	// cost should not be at the extreme right.
+	// The sweep must produce costs for every budget and show the knob
+	// matters: at this density with BISD priced at 10× BIST, a tiny
+	// blind budget burns expensive diagnoses on chips a few blind
+	// retries would clear, so the smallest budget must be the most
+	// expensive by a clear margin. (The bb16/bb32 ordering at the cheap
+	// end is within trial noise, so the test does not pin it.)
 	best, bestKey := 1e18, ""
 	for k, v := range r.Metrics {
 		if v < best {
 			best, bestKey = v, k
 		}
 	}
-	if bestKey == "cost_bb32" {
-		t.Fatalf("unexpected: largest blind budget cheapest (%v)", r.Metrics)
+	if bestKey == "cost_bb1" {
+		t.Fatalf("unexpected: smallest blind budget cheapest (%v)", r.Metrics)
+	}
+	if r.Metrics["cost_bb1"] < 1.5*best {
+		t.Fatalf("blind-budget sweep too flat: bb1 %v vs best %v (%v)",
+			r.Metrics["cost_bb1"], best, r.Metrics)
 	}
 }

@@ -267,6 +267,10 @@ type healthFault struct {
 	DiesMapped          uint64  `json:"dies_mapped"`
 	DefectMapsGenerated uint64  `json:"defect_maps_generated"`
 	MeanMapAttempts     float64 `json:"mean_map_attempts"`
+	// Lane-path split of yield-sweep dies: resolved by the word-parallel
+	// candidate schedule vs demoted to the scalar mapper.
+	DiesCheckedFast   uint64 `json:"dies_checked_fast"`
+	DiesDemotedScalar uint64 `json:"dies_demoted_scalar"`
 }
 
 type healthResponse struct {
@@ -295,6 +299,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			DiesMapped:          st.DiesMapped,
 			DefectMapsGenerated: st.DefectMapsGenerated,
 			MeanMapAttempts:     st.MeanMapAttempts,
+			DiesCheckedFast:     st.DiesCheckedFast,
+			DiesDemotedScalar:   st.DiesDemotedScalar,
 		},
 	})
 }

@@ -106,6 +106,12 @@ func TestFaultCountersReported(t *testing.T) {
 	if health.Fault.MeanMapAttempts < 1 {
 		t.Fatalf("healthz mean_map_attempts = %v, want >= 1", health.Fault.MeanMapAttempts)
 	}
+	// Every yield die resolved either on the fast candidate schedule or
+	// by scalar demotion; the KindMap die counts in neither bucket.
+	if health.Fault.DiesCheckedFast+health.Fault.DiesDemotedScalar != chips {
+		t.Fatalf("healthz dies_checked_fast %d + dies_demoted_scalar %d, want sum %d",
+			health.Fault.DiesCheckedFast, health.Fault.DiesDemotedScalar, chips)
+	}
 
 	sr, err := http.Get(ts.URL + "/stats")
 	if err != nil {
@@ -118,7 +124,9 @@ func TestFaultCountersReported(t *testing.T) {
 	}
 	if stats.DiesMapped != health.Fault.DiesMapped ||
 		stats.DefectMapsGenerated != health.Fault.DefectMapsGenerated ||
-		stats.MeanMapAttempts != health.Fault.MeanMapAttempts {
+		stats.MeanMapAttempts != health.Fault.MeanMapAttempts ||
+		stats.DiesCheckedFast != health.Fault.DiesCheckedFast ||
+		stats.DiesDemotedScalar != health.Fault.DiesDemotedScalar {
 		t.Fatalf("stats fault counters %+v disagree with healthz %+v", stats, health.Fault)
 	}
 	if stats.MapAttempts < stats.DiesMapped {

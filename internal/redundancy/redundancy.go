@@ -27,6 +27,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"nanoxbar/internal/bitlane"
 	"nanoxbar/internal/defect"
 	"nanoxbar/internal/lattice"
 )
@@ -116,7 +117,12 @@ func (mc *MC) Load(l *lattice.Lattice, a *[64]uint64) {
 	}
 	mc.base = mc.base[:sites]
 	mc.on = mc.on[:sites]
-	var have uint64
+	// One shot transposes assignment-major words into variable-major
+	// lane words: varBits[v] bit t = a[t] bit v. The shared 64×64 block
+	// transpose costs a few hundred word ops — cheaper than the 64-step
+	// scalar gather it replaces even when only two variables occur.
+	mc.varBits = *a
+	bitlane.Transpose64(&mc.varBits)
 	for r := 0; r < l.R; r++ {
 		for c := 0; c < l.C; c++ {
 			s := l.At(r, c)
@@ -126,18 +132,7 @@ func (mc *MC) Load(l *lattice.Lattice, a *[64]uint64) {
 			case lattice.Const1:
 				m = ^uint64(0)
 			default:
-				v := uint(s.Var)
-				if have>>v&1 == 0 {
-					// Transpose bit v of the 64 assignments into one
-					// lane word, once per distinct variable.
-					var vb uint64
-					for t := 0; t < 64; t++ {
-						vb |= (a[t] >> v & 1) << uint(t)
-					}
-					mc.varBits[v] = vb
-					have |= 1 << v
-				}
-				m = mc.varBits[v]
+				m = mc.varBits[uint(s.Var)]
 				if s.Neg {
 					m = ^m
 				}

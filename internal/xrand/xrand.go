@@ -1,0 +1,61 @@
+// Package xrand holds the per-die random sources shared by the serving
+// and yield paths. The engine and the lane yield runner reseed a source
+// for every die so results are independent of worker scheduling, but
+// math/rand's default lagged-Fibonacci source pays a ~600-step table
+// initialization per Seed — more expensive than generating the whole
+// defect map it feeds. SplitMix is a rand.Source64 with O(1) seeding
+// (splitmix64, the standard seeder for xoshiro-family generators).
+package xrand
+
+import "math/rand"
+
+// SplitMix implements rand.Source64 over splitmix64.
+type SplitMix struct {
+	s uint64
+}
+
+// New returns a reseedable per-die RNG over a SplitMix source.
+// (*rand.Rand).Seed is not used; reseed through the returned source.
+func New() (*SplitMix, *rand.Rand) {
+	src := &SplitMix{}
+	return src, rand.New(src)
+}
+
+// mix64 is the splitmix64 output finalizer: a bijective avalanche over
+// the full 64-bit state.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// SubSeed derives the deterministic per-die seed of die i from a sweep
+// seed (splitmix64 increment keeps neighboring dies decorrelated). The
+// lane and scalar yield runners, and the engine's per-die fan-out, all
+// derive die seeds through this one function — that is what makes a
+// die's defect map and repair stream identical no matter which path
+// maps it.
+func SubSeed(seed int64, i int) int64 {
+	return seed + int64(i)*-0x61c8864680b583eb
+}
+
+// Seed implements rand.Source. The raw seed is passed through the
+// finalizer before becoming the counter state: SubSeed strides dies by
+// a multiple of splitmix64's own golden-ratio increment, so seeding
+// with the raw value would make adjacent dies' streams one-draw-shifted
+// copies of each other (die i+1's k-th draw = die i's (k−1)-th).
+// Mixing first lands each die at an unrelated point of the state
+// space, keeping the streams decorrelated.
+func (s *SplitMix) Seed(seed int64) { s.s = mix64(uint64(seed)) }
+
+// Uint64 implements rand.Source64.
+func (s *SplitMix) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	return mix64(s.s)
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix) Int63() int64 { return int64(s.Uint64() >> 1) }

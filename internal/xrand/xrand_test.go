@@ -1,10 +1,10 @@
-package engine
+package xrand
 
 import "testing"
 
-func TestSplitmixSourceDeterministicAndReseedable(t *testing.T) {
-	srcA, rngA := newDieRand()
-	srcB, rngB := newDieRand()
+func TestSplitMixDeterministicAndReseedable(t *testing.T) {
+	srcA, rngA := New()
+	srcB, rngB := New()
 	srcA.Seed(42)
 	srcB.Seed(42)
 	for i := 0; i < 100; i++ {
@@ -21,8 +21,8 @@ func TestSplitmixSourceDeterministicAndReseedable(t *testing.T) {
 	}
 }
 
-func TestSplitmixSourceRoughlyUniform(t *testing.T) {
-	src, rng := newDieRand()
+func TestSplitMixRoughlyUniform(t *testing.T) {
+	src, rng := New()
 	src.Seed(1)
 	const n = 200_000
 	sum, ones := 0.0, 0
@@ -44,17 +44,17 @@ func TestSplitmixSourceRoughlyUniform(t *testing.T) {
 	}
 }
 
-// TestSplitmixAdjacentSeedsDecorrelated guards the subSeed interaction:
-// subSeed strides by a multiple of splitmix64's internal increment, so
+// TestSplitMixAdjacentSeedsDecorrelated guards the SubSeed interaction:
+// SubSeed strides by a multiple of splitmix64's internal increment, so
 // without the seed finalizer adjacent dies' streams would be one-draw-
 // shifted copies of each other. Check both first-draw balance and that
 // neighboring streams share no window at small shifts.
-func TestSplitmixAdjacentSeedsDecorrelated(t *testing.T) {
-	src, rng := newDieRand()
+func TestSplitMixAdjacentSeedsDecorrelated(t *testing.T) {
+	src, rng := New()
 	low := 0
 	const dies = 10_000
 	for i := 0; i < dies; i++ {
-		src.Seed(subSeed(99, i))
+		src.Seed(SubSeed(99, i))
 		if rng.Float64() < 0.5 {
 			low++
 		}
@@ -65,7 +65,7 @@ func TestSplitmixAdjacentSeedsDecorrelated(t *testing.T) {
 	const draws = 32
 	streams := make([][draws]uint64, 4)
 	for i := range streams {
-		src.Seed(subSeed(99, i))
+		src.Seed(SubSeed(99, i))
 		for k := 0; k < draws; k++ {
 			streams[i][k] = rng.Uint64()
 		}
