@@ -12,12 +12,17 @@
 // hot-path regressions — the CI perf-regression gate:
 //
 //	benchjson -compare BENCH_lattice.json -against bench_ci.json \
-//	          [-tolerance 0.25] [-allow 'regex over pkg.BenchmarkName']
+//	          [-tolerance 0.25] [-allow 'regex over pkg.BenchmarkName'] \
+//	          [-only 'regex over pkg.BenchmarkName']
 //
 // A benchmark regresses when its ns/op exceeds baseline×(1+tolerance);
 // benchmarks matching -allow (noisy suites) are reported but never fail
 // the gate, and baseline benchmarks missing from the new report fail it
-// unless allow-listed. Exit status 1 on a failed gate.
+// unless allow-listed. -only filters both reports to matching IDs
+// before the diff, scoping the gate to the blocks a job regenerates
+// (micro-benchmarks vs the xbarload Soak/* pseudo-benchmarks, which
+// share BENCH_lattice.json as their baseline). Exit status 1 on a
+// failed gate.
 //
 // CI emits with -benchtime 20ms (steady-state but fast; single-
 // iteration -benchtime 1x timings are warmup-dominated and useless for
@@ -57,17 +62,18 @@ func main() {
 	against := flag.String("against", "", "new report path to gate against the baseline (compare mode)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed ns/op growth fraction before a regression fails the gate")
 	allow := flag.String("allow", "", "regex over pkg.BenchmarkName; matches never fail the gate")
+	only := flag.String("only", "", "regex over pkg.BenchmarkName; both reports are filtered to matches before comparing (compare mode)")
 	flag.Parse()
 
 	if *compare != "" {
-		os.Exit(runCompare(os.Stdout, *compare, *against, *tolerance, *allow))
+		os.Exit(runCompare(os.Stdout, *compare, *against, *tolerance, *allow, *only))
 	}
 	runEmit(*out, *benchRe, *benchtime, *pkgs)
 }
 
 // runCompare executes the perf-regression gate and returns the process
 // exit code.
-func runCompare(w *os.File, oldPath, newPath string, tolerance float64, allowPat string) int {
+func runCompare(w *os.File, oldPath, newPath string, tolerance float64, allowPat, onlyPat string) int {
 	if newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -compare requires -against new.json")
 		return 2
@@ -77,6 +83,14 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance float64, allowPat
 		var err error
 		if allowRe, err = regexp.Compile(allowPat); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: bad -allow regex:", err)
+			return 2
+		}
+	}
+	var onlyRe *regexp.Regexp
+	if onlyPat != "" {
+		var err error
+		if onlyRe, err = regexp.Compile(onlyPat); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -only regex:", err)
 			return 2
 		}
 	}
@@ -90,7 +104,10 @@ func runCompare(w *os.File, oldPath, newPath string, tolerance float64, allowPat
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
-	cmp := benchreport.Compare(old, new, tolerance, allowRe)
+	// -only scopes the gate: the baseline may hold blocks this job does
+	// not regenerate (micro-benchmarks vs Soak/* pseudo-benchmarks), and
+	// an unscoped Compare would fail them as Missing.
+	cmp := benchreport.Compare(old.Filter(onlyRe), new.Filter(onlyRe), tolerance, allowRe)
 	fmt.Fprintf(w, "benchjson: %s (baseline) vs %s\n%s", oldPath, newPath, cmp.Format())
 	if !cmp.OK() {
 		return 1

@@ -43,10 +43,24 @@
 // in-process server the injected-fault and client retry/breaker
 // counters are bridged into GET /metrics.
 //
+// -cluster N (N >= 2) boots an in-process N-node cluster —
+// consistent-hash routing, failure detection, peer cache-fill — and
+// soaks it through node n0 while the harness kills node n1 abruptly in
+// the middle of a streaming yield sweep, then restarts it on the same
+// port under load and warm-starts its cache from a peer snapshot.
+// Inter-node traffic runs through a seeded chaos transport to model
+// partitions. The run fails on any untyped client error (including the
+// kill-victim stream's), a failed restart, or a recovered panic in any
+// surviving node's /metrics; routing counters and latency quantiles
+// are emitted as the Soak/cluster and Soak/cluster/p99
+// pseudo-benchmarks:
+//
+//	go run -race ./cmd/xbarload -cluster 3 -duration 5s -seed 1 -out soak_cluster.json
+//
 // Exit status 1 when any request fails unexpectedly (cancellations the
 // driver itself issued are expected; unsuccessful-but-valid mapping
 // outcomes are results, not failures; typed chaos failures under
-// -chaos likewise).
+// -chaos or -cluster likewise).
 package main
 
 import (
@@ -112,6 +126,7 @@ func main() {
 	workers := flag.Int("workers", 0, "in-process server worker pool size (0 = NumCPU)")
 	cacheSize := flag.Int("cache", 1024, "in-process server cache entries")
 	chaos := flag.Bool("chaos", false, "inject seeded transport faults and assert every failure is typed")
+	clusterN := flag.Int("cluster", 0, "boot an N-node in-process cluster (N >= 2) with kill/restart chaos; incompatible with -addr and -chaos")
 	flag.Parse()
 
 	mix, err := parseMix(*mixSpec)
@@ -127,10 +142,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xbarload: -concurrency and -chips must be >= 1")
 		os.Exit(2)
 	}
+	if *clusterN != 0 && *clusterN < 2 {
+		fmt.Fprintln(os.Stderr, "xbarload: -cluster needs at least 2 nodes")
+		os.Exit(2)
+	}
+	if *clusterN > 0 && (*addr != "" || *chaos) {
+		fmt.Fprintln(os.Stderr, "xbarload: -cluster is incompatible with -addr and -chaos")
+		os.Exit(2)
+	}
 
 	base := *addr
 	var inproc *inprocServer
-	if base == "" {
+	var clus *clusterHarness
+	if *clusterN > 0 {
+		c, err := startClusterHarness(*clusterN, *workers, *cacheSize, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbarload:", err)
+			os.Exit(1)
+		}
+		defer c.close()
+		clus = c
+		base = c.peers["n0"]
+		fmt.Fprintf(os.Stderr, "xbarload: %d-node in-process cluster, client at %s\n", *clusterN, base)
+	} else if base == "" {
 		srv, err := startInProcessServer(*workers, *cacheSize)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xbarload:", err)
@@ -177,7 +211,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res, err := soak(ctx, cl, soakConfig{
+	cfg := soakConfig{
 		baseURL:     base,
 		duration:    *duration,
 		concurrency: *concurrency,
@@ -189,7 +223,21 @@ func main() {
 		density:     *density,
 		maxAttempts: *maxAttempts,
 		chaos:       *chaos,
-	})
+		cluster:     clus != nil,
+	}
+	// The kill/restart schedule runs beside the soak workers, against
+	// the same wall clock, so the kill lands mid-soak and the restart
+	// happens under load.
+	var chaosWG sync.WaitGroup
+	if clus != nil {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			clus.runChaos(ctx, cfg)
+		}()
+	}
+	res, err := soak(ctx, cl, cfg)
+	chaosWG.Wait()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xbarload:", err)
 		os.Exit(1)
@@ -198,6 +246,12 @@ func main() {
 	rep := res.report(*duration)
 	if *chaos {
 		rep.Benchmarks = append(rep.Benchmarks, chaosBenchmark(chaosT, cl, res))
+	}
+	if clus != nil {
+		rep.Benchmarks = append(rep.Benchmarks, clus.benchmarks(res, *duration)...)
+	}
+	if rep.Notes["metrics_scrape"] != "" {
+		fmt.Fprintln(os.Stderr, "xbarload: warning: /metrics scrape skipped; report carries notes.metrics_scrape and no server-side quantiles")
 	}
 	if err := benchreport.WriteFile(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "xbarload:", err)
@@ -214,7 +268,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if res.failures() > 0 {
+	clusterOK := true
+	if clus != nil {
+		vctx, vcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		clusterOK = clus.verdict(vctx)
+		vcancel()
+	}
+	if res.failures() > 0 || !clusterOK {
 		os.Exit(1)
 	}
 }
@@ -423,6 +483,10 @@ type soakConfig struct {
 	density     float64
 	maxAttempts int
 	chaos       bool
+	// cluster marks the N-node soak: typed failures are expected
+	// casualties of the kill/restart schedule and inter-node chaos,
+	// exactly as under -chaos.
+	cluster bool
 }
 
 // soakResult aggregates per-scenario latencies and outcome counters.
@@ -559,7 +623,7 @@ func soak(ctx context.Context, cl *nbclient.Client, cfg soakConfig) (*soakResult
 					return
 				}
 				failed := opErr != nil
-				if failed && cfg.chaos && expectedChaosFailure(opErr) {
+				if failed && (cfg.chaos || cfg.cluster) && expectedChaosFailure(opErr) {
 					// An injected fault surfaced typed — the contract the
 					// chaos soak exists to check. Counted, not failed.
 					failed = false
@@ -755,6 +819,11 @@ func (r *soakResult) report(duration time.Duration) benchreport.Report {
 				"dies/sec":         float64(r.dieEvents) / duration.Seconds(),
 			},
 		})
+	}
+	if r.metricsBefore == nil || r.metricsAfter == nil {
+		// The missing Soak/server block must read as "no data", not
+		// "zero delta" — downstream tooling keys on this note.
+		rep.Notes = map[string]string{"metrics_scrape": "skipped"}
 	}
 	if sm := r.serverMetrics(); len(sm) > 0 {
 		rep.Benchmarks = append(rep.Benchmarks, benchreport.Benchmark{

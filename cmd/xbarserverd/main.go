@@ -36,11 +36,21 @@
 // logs are structured (log/slog); -log-level debug additionally logs
 // each engine request with its stage outcome.
 //
+// Cluster mode (-peers, -node-id, -advertise) joins N daemons into a
+// consistent-hash serving tier: synthesis requests are routed to the
+// node owning their cache key, cold cache slots are filled from the
+// owner's cache before synthesizing locally, and a restarting node
+// warm-starts by streaming a sibling's cache snapshot when its own
+// disk snapshot yields nothing. Draining de-registers the node from
+// peer rings via the /healthz cluster block. See DESIGN.md §14 and the
+// README "Cluster mode" section.
+//
 // Usage:
 //
 //	xbarserverd [-addr :8080] [-workers N] [-cache 1024] [-cache-shards N]
 //	            [-cache-load path] [-cache-save path] [-cache-save-interval 5m]
 //	            [-log-level info] [-log-format text] [-pprof]
+//	            [-node-id a -advertise http://host:8080 -peers a=...,b=...,c=...]
 package main
 
 import (
@@ -52,14 +62,42 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"nanoxbar/internal/cluster"
 	"nanoxbar/internal/core"
 	"nanoxbar/internal/engine"
 	"nanoxbar/internal/httpapi"
 )
+
+// parsePeers parses the -peers flag: a comma-separated id=url list,
+// e.g. "a=http://10.0.0.1:8080,b=http://10.0.0.2:8080". The list may
+// include this node's own entry (every member can share one flag
+// value); cluster.New skips it by id.
+func parsePeers(spec string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate -peers id %q", id)
+		}
+		out[id] = strings.TrimSuffix(url, "/")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers %q names no members", spec)
+	}
+	return out, nil
+}
 
 // buildLogger constructs the process logger from the flag values.
 func buildLogger(level, format string) (*slog.Logger, error) {
@@ -88,6 +126,9 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level (debug|info|warn|error); debug logs every engine request")
 	logFormat := flag.String("log-format", "text", "log format (text|json)")
+	nodeID := flag.String("node-id", "", "cluster member id (required with -peers)")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (cluster mode)")
+	peersSpec := flag.String("peers", "", "cluster peers as id=url,... (enables cluster mode)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel, *logFormat)
@@ -117,6 +158,43 @@ func main() {
 	if *pprofOn {
 		sopts = append(sopts, httpapi.WithPprof())
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Cluster mode: join the static membership, serve the peer routes,
+	// consult siblings' caches before cold synthesis, and — when the
+	// disk snapshot produced nothing — warm-start from a sibling.
+	var node *cluster.Node
+	if *peersSpec != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "xbarserverd: -peers requires -node-id")
+			os.Exit(2)
+		}
+		peerMap, err := parsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbarserverd:", err)
+			os.Exit(2)
+		}
+		node, err = cluster.New(eng, cluster.Config{
+			NodeID: *nodeID, Advertise: *advertise, Peers: peerMap, Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbarserverd:", err)
+			os.Exit(2)
+		}
+		eng.SetPeerFill(node.PeerFill)
+		sopts = append(sopts, httpapi.WithCluster(node))
+		go node.Run(ctx)
+		if eng.Stats().CacheEntries == 0 {
+			if n, from, err := node.WarmStart(ctx); err != nil {
+				logger.Info("cluster warm-start unavailable, starting cold", "err", err)
+			} else {
+				fmt.Printf("xbarserverd: cache warmed with %d entries from peer %s\n", n, from)
+			}
+		}
+	}
+
 	api := httpapi.New(eng, sopts...)
 	srv := &http.Server{
 		Addr:              *addr,
@@ -127,9 +205,6 @@ func main() {
 		// v2 clients that hang up cancel their work via the request
 		// context.
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	// checkpointMu serializes snapshot saves: without it an in-flight
 	// interval checkpoint could finish after the shutdown checkpoint and
@@ -184,6 +259,16 @@ func main() {
 	// while in-flight requests — including open NDJSON streams — run to
 	// completion, then close the listener and wait for them.
 	drainStart := time.Now()
+	if node != nil {
+		// De-register from the ring first: peers probing /healthz during
+		// the drain window see leaving=true and stop routing here
+		// immediately instead of waiting out the suspicion timeout. Hold
+		// the listener open for one probe round before Shutdown closes it
+		// — without the grace, peers never get a successful probe of the
+		// leaving flag and fall back to the slow suspicion path.
+		node.Leave()
+		time.Sleep(time.Second)
+	}
 	api.Drain()
 	logger.Info("draining", "reason", "signal")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

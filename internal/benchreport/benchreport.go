@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,6 +40,31 @@ type Report struct {
 	CPU         string      `json:"cpu,omitempty"`
 	Benchtime   string      `json:"benchtime"`
 	Benchmarks  []Benchmark `json:"benchmarks"`
+	// Notes carries emitter caveats that change how the report should
+	// be read — e.g. xbarload sets {"metrics_scrape": "skipped"} when
+	// the server's /metrics endpoint could not be scraped, so a missing
+	// Soak/server block reads as "no data", not "zero delta".
+	Notes map[string]string `json:"notes,omitempty"`
+}
+
+// Filter returns a copy of the report keeping only benchmarks whose ID
+// (pkg.Name) matches only. A nil pattern keeps everything. Compare
+// gates use it to scope a baseline to the blocks a given CI job
+// actually regenerates — the bench-smoke gate must not fail Soak/*
+// blocks as Missing, and the soak gates must not re-judge micro-bench
+// blocks.
+func (r Report) Filter(only *regexp.Regexp) Report {
+	if only == nil {
+		return r
+	}
+	out := r
+	out.Benchmarks = nil
+	for _, b := range r.Benchmarks {
+		if only.MatchString(b.ID()) {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return out
 }
 
 // Load reads a report file.

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"nanoxbar/internal/telemetry"
+)
+
+// Cluster metric names. Exported through the engine's registry so they
+// ride the existing /metrics exposition.
+const (
+	metricPeerFillHits   = "nanoxbar_cluster_peer_fill_hits_total"
+	metricPeerFillMisses = "nanoxbar_cluster_peer_fill_misses_total"
+	metricForwards       = "nanoxbar_cluster_forwards_total"
+	metricFailovers      = "nanoxbar_cluster_failovers_total"
+	metricLocalDegrades  = "nanoxbar_cluster_local_degrades_total"
+	metricMembers        = "nanoxbar_cluster_members"
+	metricRingMembers    = "nanoxbar_cluster_ring_members"
+	metricLeaving        = "nanoxbar_cluster_leaving"
+)
+
+// registerMetrics publishes the cluster counters and membership gauges
+// on reg (the engine's telemetry registry).
+func (n *Node) registerMetrics(reg *telemetry.Registry) {
+	counter := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter(metricPeerFillHits, "Cold synthesis slots filled from a peer's cache.", &n.peerFillHits)
+	counter(metricPeerFillMisses, "Peer cache-fill attempts that fell through to local synthesis.", &n.peerFillMisses)
+	counter(metricForwards, "Synthesis requests forwarded to their ring owner (or its replica).", &n.forwards)
+	counter(metricFailovers, "Forwards that had to fail over from the owner to a fallback replica.", &n.failovers)
+	counter(metricLocalDegrades, "Non-owned requests served locally because every remote target failed.", &n.localDegrades)
+	reg.Collect(metricMembers, "Tracked peers by failure-detector state.", "gauge",
+		func(emit func(string, float64)) {
+			alive, suspect, dead := n.det.Counts()
+			emit(telemetry.Label("state", "alive"), float64(alive))
+			emit(telemetry.Label("state", "suspect"), float64(suspect))
+			emit(telemetry.Label("state", "dead"), float64(dead))
+		})
+	reg.GaugeFunc(metricRingMembers, "Distinct members on the current hash ring (including self).", func() float64 {
+		if r := n.currentRing(); r != nil {
+			return float64(r.Size())
+		}
+		return 0
+	})
+	reg.GaugeFunc(metricLeaving, "1 while this node is draining out of the ring.", func() float64 {
+		if n.leaving.Load() {
+			return 1
+		}
+		return 0
+	})
+}

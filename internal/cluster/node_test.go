@@ -1,0 +1,375 @@
+// Integration tests for the cluster tier, wired over real loopback
+// HTTP through internal/httpapi. External test package: cluster must
+// not import httpapi (the dependency runs the other way), but the
+// tests need both.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"nanoxbar/internal/cluster"
+	"nanoxbar/internal/engine"
+	"nanoxbar/internal/httpapi"
+)
+
+// swapHandler lets the httptest server start (fixing its URL) before
+// the node that serves on it exists — membership URLs are needed to
+// construct the nodes.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) set(h http.Handler) { s.mu.Lock(); s.h = h; s.mu.Unlock() }
+
+type testNode struct {
+	id   string
+	eng  *engine.Engine
+	node *cluster.Node
+	srv  *httptest.Server
+}
+
+// startCluster boots one in-process node per id, each a full
+// engine + cluster.Node + httpapi server on a loopback listener, all
+// sharing one membership map. stubs maps ids to raw handlers standing
+// in for a member (no engine behind them).
+func startCluster(t *testing.T, ids []string, stubs map[string]http.Handler) map[string]*testNode {
+	t.Helper()
+	urls := map[string]string{}
+	swaps := map[string]*swapHandler{}
+	srvs := map[string]*httptest.Server{}
+	for _, id := range ids {
+		sh := &swapHandler{}
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		swaps[id], srvs[id], urls[id] = sh, srv, srv.URL
+	}
+	nodes := map[string]*testNode{}
+	for _, id := range ids {
+		if h, ok := stubs[id]; ok {
+			swaps[id].set(h)
+			continue
+		}
+		eng := engine.New(engine.Config{Workers: 2, CacheSize: 256})
+		t.Cleanup(eng.Close)
+		node, err := cluster.New(eng, cluster.Config{
+			NodeID: id, Advertise: urls[id], Peers: urls,
+		})
+		if err != nil {
+			t.Fatalf("cluster.New(%s): %v", id, err)
+		}
+		eng.SetPeerFill(node.PeerFill)
+		swaps[id].set(httpapi.New(eng, httpapi.WithCluster(node)))
+		nodes[id] = &testNode{id: id, eng: eng, node: node, srv: srvs[id]}
+	}
+	return nodes
+}
+
+// requestOwnedBy scans small truth-table functions for one whose cache
+// key the ring assigns to owner, so tests can aim requests at a
+// specific member deterministically.
+func requestOwnedBy(t *testing.T, eng *engine.Engine, members []string, owner string) (engine.Request, string) {
+	t.Helper()
+	ring := cluster.NewRing(members, 0)
+	for v := 1; v < 255; v++ {
+		req := engine.Request{Kind: engine.KindSynthesize,
+			Function: engine.FunctionSpec{TT: fmt.Sprintf("3:0x%02x", v)}}
+		key, err := eng.KeyFor(req)
+		if err != nil {
+			t.Fatalf("KeyFor: %v", err)
+		}
+		if o, _ := ring.Owner(key); o == owner {
+			return req, key
+		}
+	}
+	t.Fatalf("no 3-var function key owned by %s", owner)
+	return engine.Request{}, ""
+}
+
+func postSynthesize(t *testing.T, url string, req engine.Request) (*http.Response, engine.Result) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/synthesize: %v", err)
+	}
+	defer resp.Body.Close()
+	var res engine.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return resp, res
+}
+
+// TestPeerFillHit: a cold node whose key is owned by a warm sibling
+// fills from that sibling's cache instead of synthesizing.
+func TestPeerFillHit(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	req, _ := requestOwnedBy(t, nodes["a"].eng, []string{"a", "b"}, "b")
+
+	if res := nodes["b"].eng.Do(req); !res.Ok() {
+		t.Fatalf("warm b: %v", res.Error)
+	}
+	synthB := nodes["b"].eng.Stats().SynthCalls
+
+	if res := nodes["a"].eng.Do(req); !res.Ok() {
+		t.Fatalf("a.Do: %v", res.Error)
+	}
+	st := nodes["a"].node.Status()
+	if st.PeerFillHits != 1 || st.PeerFillMisses != 0 {
+		t.Fatalf("a fill hits/misses = %d/%d, want 1/0", st.PeerFillHits, st.PeerFillMisses)
+	}
+	if got := nodes["a"].eng.Stats().SynthCalls; got != 0 {
+		t.Fatalf("a synthesized %d times despite peer fill", got)
+	}
+	if got := nodes["b"].eng.Stats().SynthCalls; got != synthB {
+		t.Fatalf("fill triggered synthesis on b: %d -> %d", synthB, got)
+	}
+	// The filled entry is cached: a second local call is a plain hit,
+	// no second fill round-trip.
+	nodes["a"].eng.Do(req)
+	if st := nodes["a"].node.Status(); st.PeerFillHits != 1 {
+		t.Fatalf("second call re-filled: hits = %d", st.PeerFillHits)
+	}
+}
+
+// TestPeerFillMiss: a cold owner answers 204, and the asker falls
+// through to local synthesis — a miss can only make the cold path
+// slower, never fail it.
+func TestPeerFillMiss(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	req, _ := requestOwnedBy(t, nodes["a"].eng, []string{"a", "b"}, "b")
+
+	if res := nodes["a"].eng.Do(req); !res.Ok() {
+		t.Fatalf("a.Do: %v", res.Error)
+	}
+	st := nodes["a"].node.Status()
+	if st.PeerFillMisses != 1 || st.PeerFillHits != 0 {
+		t.Fatalf("a fill hits/misses = %d/%d, want 0/1", st.PeerFillHits, st.PeerFillMisses)
+	}
+	if got := nodes["a"].eng.Stats().SynthCalls; got != 1 {
+		t.Fatalf("a SynthCalls = %d, want 1 (local fallback)", got)
+	}
+}
+
+// TestForwardToOwner: a synthesis POSTed to a non-owner is proxied to
+// the owner, which computes it; the receiving node does no local work.
+func TestForwardToOwner(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	req, _ := requestOwnedBy(t, nodes["a"].eng, []string{"a", "b"}, "b")
+
+	resp, res := postSynthesize(t, nodes["a"].srv.URL, req)
+	if resp.StatusCode != http.StatusOK || !res.Ok() || res.Synthesis == nil {
+		t.Fatalf("forwarded request: HTTP %d, err %q", resp.StatusCode, res.Error)
+	}
+	if st := nodes["a"].node.Status(); st.Forwards != 1 || st.Failovers != 0 {
+		t.Fatalf("a forwards/failovers = %d/%d, want 1/0", st.Forwards, st.Failovers)
+	}
+	if got := nodes["a"].eng.Stats().SynthCalls; got != 0 {
+		t.Fatalf("a synthesized a forwarded request: SynthCalls = %d", got)
+	}
+	if got := nodes["b"].eng.Stats().SynthCalls; got != 1 {
+		t.Fatalf("b SynthCalls = %d, want 1", got)
+	}
+}
+
+// TestForwardFailover: with the owner down (and not yet detected), the
+// ladder falls over to the fallback replica, which serves the request
+// locally under the forwarded marker.
+func TestForwardFailover(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b", "c"}, nil)
+	req, _ := requestOwnedBy(t, nodes["a"].eng, []string{"a", "b", "c"}, "b")
+
+	nodes["b"].srv.Close() // abrupt kill; a's detector still believes b alive
+
+	resp, res := postSynthesize(t, nodes["a"].srv.URL, req)
+	if resp.StatusCode != http.StatusOK || !res.Ok() {
+		t.Fatalf("failover request: HTTP %d, err %q", resp.StatusCode, res.Error)
+	}
+	st := nodes["a"].node.Status()
+	if st.Failovers != 1 {
+		t.Fatalf("a failovers = %d, want 1", st.Failovers)
+	}
+	// Exactly one of {a local, c} computed it — never b, never both.
+	synthA := nodes["a"].eng.Stats().SynthCalls
+	synthC := nodes["c"].eng.Stats().SynthCalls
+	if synthA+synthC != 1 {
+		t.Fatalf("synth calls a=%d c=%d, want exactly one total", synthA, synthC)
+	}
+}
+
+// TestLocalDegrade: every remote target dead means the node serves the
+// request itself — a typed, successful, counted degrade; the client
+// never sees a transport error.
+func TestLocalDegrade(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	req, _ := requestOwnedBy(t, nodes["a"].eng, []string{"a", "b"}, "b")
+
+	nodes["b"].srv.Close()
+
+	resp, res := postSynthesize(t, nodes["a"].srv.URL, req)
+	if resp.StatusCode != http.StatusOK || !res.Ok() || res.Synthesis == nil {
+		t.Fatalf("degraded request: HTTP %d, err %q", resp.StatusCode, res.Error)
+	}
+	st := nodes["a"].node.Status()
+	if st.LocalDegrades != 1 || st.Forwards != 0 {
+		t.Fatalf("a degrades/forwards = %d/%d, want 1/0", st.LocalDegrades, st.Forwards)
+	}
+	// PeerFill also fails against the dead owner, so local synthesis ran.
+	if got := nodes["a"].eng.Stats().SynthCalls; got != 1 {
+		t.Fatalf("a SynthCalls = %d, want 1", got)
+	}
+}
+
+// TestForwardDomainErrorPassesThrough: a 422 from the owner is the
+// answer, not a failure — it must come back typed with the owner's
+// code, without tripping the failover ladder.
+func TestForwardDomainErrorPassesThrough(t *testing.T) {
+	stub := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/synthesize" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": "core: no feasible implementation", "code": "infeasible",
+		})
+	})
+	nodes := startCluster(t, []string{"a", "z"}, map[string]http.Handler{"z": stub})
+	req, _ := requestOwnedBy(t, nodes["a"].eng, []string{"a", "z"}, "z")
+
+	resp, res := postSynthesize(t, nodes["a"].srv.URL, req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	if res.Code != "infeasible" {
+		t.Fatalf("code = %q, want infeasible", res.Code)
+	}
+	st := nodes["a"].node.Status()
+	if st.Forwards != 1 || st.Failovers != 0 || st.LocalDegrades != 0 {
+		t.Fatalf("forwards/failovers/degrades = %d/%d/%d, want 1/0/0",
+			st.Forwards, st.Failovers, st.LocalDegrades)
+	}
+	if got := nodes["a"].eng.Stats().SynthCalls; got != 0 {
+		t.Fatalf("domain error retried locally: SynthCalls = %d", got)
+	}
+}
+
+// TestLeavingStopsRouting: a draining node serves everything locally —
+// no forwards, no fills — so the drain window never depends on peers.
+func TestLeavingStopsRouting(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	req, _ := requestOwnedBy(t, nodes["a"].eng, []string{"a", "b"}, "b")
+
+	nodes["a"].node.Leave()
+	if res, handled := nodes["a"].node.RouteSynthesize(context.Background(), req); handled {
+		t.Fatalf("leaving node still forwarded: %+v", res)
+	}
+	if imp := nodes["a"].node.PeerFill(context.Background(), "any-key"); imp != nil {
+		t.Fatal("leaving node still peer-filled")
+	}
+	st := nodes["a"].node.Status()
+	if !st.Leaving || st.Forwards != 0 || st.PeerFillHits != 0 || st.PeerFillMisses != 0 {
+		t.Fatalf("leaving status = %+v", st)
+	}
+}
+
+// TestWarmStartFromPeer is the restart acceptance path: a node with no
+// local snapshot file streams a sibling's cache and then answers the
+// sibling's whole workload from cache — zero synthesis calls, 100%
+// hit-rate (the criterion asks ≥90%).
+func TestWarmStartFromPeer(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+
+	const batch = 20
+	reqs := make([]engine.Request, batch)
+	for i := range reqs {
+		reqs[i] = engine.Request{Kind: engine.KindSynthesize,
+			Function: engine.FunctionSpec{TT: fmt.Sprintf("3:0x%02x", i+1)}}
+	}
+	for i, res := range nodes["a"].eng.SubmitBatch(reqs) {
+		if !res.Ok() {
+			t.Fatalf("warm a req %d: %v", i, res.Error)
+		}
+	}
+	wantEntries := nodes["a"].eng.Stats().CacheEntries
+	if wantEntries == 0 {
+		t.Fatal("test vacuous: a cached nothing")
+	}
+
+	n, from, err := nodes["b"].node.WarmStart(context.Background())
+	if err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	if from != "a" || n != wantEntries {
+		t.Fatalf("WarmStart = %d entries from %q, want %d from a", n, from, wantEntries)
+	}
+
+	for i, res := range nodes["b"].eng.SubmitBatch(reqs) {
+		if !res.Ok() {
+			t.Fatalf("replay req %d on b: %v", i, res.Error)
+		}
+	}
+	st := nodes["b"].eng.Stats()
+	if st.SynthCalls != 0 {
+		t.Fatalf("warm-started b synthesized %d times, want 0", st.SynthCalls)
+	}
+	if st.CacheHits < batch {
+		t.Fatalf("warm-started b cache hits = %d, want ≥ %d (≥90%% criterion)", st.CacheHits, batch)
+	}
+}
+
+// TestHealthzCarriesClusterBlock: the heartbeat payload peers probe is
+// /healthz; its cluster block must carry the node id and the leaving
+// flag the drain path flips.
+func TestHealthzCarriesClusterBlock(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	var health struct {
+		Cluster *cluster.Status `json:"cluster"`
+	}
+	get := func() {
+		t.Helper()
+		resp, err := http.Get(nodes["a"].srv.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatalf("decode healthz: %v", err)
+		}
+	}
+	get()
+	if health.Cluster == nil || health.Cluster.NodeID != "a" || health.Cluster.Leaving {
+		t.Fatalf("healthz cluster block = %+v", health.Cluster)
+	}
+	if health.Cluster.RingMembers != 2 {
+		t.Fatalf("ring members = %d, want 2", health.Cluster.RingMembers)
+	}
+	nodes["a"].node.Leave()
+	get()
+	if !health.Cluster.Leaving {
+		t.Fatal("leaving=true not surfaced on /healthz after Leave")
+	}
+}

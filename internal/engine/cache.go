@@ -87,6 +87,30 @@ func (c *cache) getOrCompute(key string, fn func() (*core.Implementation, error)
 	return fl.imp, fl.err, false
 }
 
+// peek returns the completed, successful entry for key without
+// computing, blocking on an in-flight slot, touching the LRU order, or
+// counting a hit/miss. It exists for the cluster peer-fill route: a
+// sibling's lookup must not distort this node's own hit-rate
+// accounting, and it must never wait behind a running synthesis.
+func (c *cache) peek(key string) (*core.Implementation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	fl := el.Value.(*cacheNode).fl
+	select {
+	case <-fl.done:
+		if fl.err == nil && fl.imp != nil {
+			return fl.imp, true
+		}
+		return nil, false
+	default: // still computing — report a miss rather than block
+		return nil, false
+	}
+}
+
 // evictLocked trims completed entries from the LRU tail until the cache
 // fits its capacity. In-flight entries are skipped — evicting them
 // would duplicate running syntheses.
@@ -215,6 +239,10 @@ func (s *shardedCache) getOrCompute(key string, fn func() (*core.Implementation,
 
 func (s *shardedCache) insert(key string, imp *core.Implementation) bool {
 	return s.shardFor(key).insert(key, imp)
+}
+
+func (s *shardedCache) peek(key string) (*core.Implementation, bool) {
+	return s.shardFor(key).peek(key)
 }
 
 // snapshot collects the completed entries of every shard,

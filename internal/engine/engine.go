@@ -26,6 +26,7 @@ import (
 	"nanoxbar/internal/latsynth"
 	"nanoxbar/internal/lattice"
 	"nanoxbar/internal/qm"
+	"nanoxbar/internal/resilience"
 	"nanoxbar/internal/telemetry"
 	"nanoxbar/internal/truthtab"
 	"nanoxbar/internal/xrand"
@@ -121,7 +122,49 @@ type Engine struct {
 	diesFast    atomic.Uint64
 	diesDemoted atomic.Uint64
 
+	// peerFill, when set, is consulted on a cache miss before local
+	// synthesis — the cluster tier's chance to fetch the owner's cached
+	// implementation instead of recomputing it.
+	peerFill atomic.Pointer[PeerFillFunc]
+
 	yield yield.Runner
+}
+
+// PeerFillFunc resolves a cache key against a remote source. It
+// returns nil on any miss or failure; it must never block past its own
+// internal timeout, because it runs inside the cache flight and every
+// waiter for the key is behind it.
+type PeerFillFunc func(ctx context.Context, key string) *core.Implementation
+
+// SetPeerFill installs (or, with nil, removes) the cache-miss peer
+// fill hook. Safe to call at any time; typically wired once at daemon
+// startup before traffic.
+func (e *Engine) SetPeerFill(fn PeerFillFunc) {
+	if fn == nil {
+		e.peerFill.Store(nil)
+		return
+	}
+	e.peerFill.Store(&fn)
+}
+
+// PeekCached returns the completed cached implementation for key, if
+// any, without computing, blocking, or perturbing the hit/miss
+// statistics. It backs the cluster peer-fill route. The returned
+// Implementation is shared and must be treated as read-only.
+func (e *Engine) PeekCached(key string) (*core.Implementation, bool) {
+	return e.cache.peek(key)
+}
+
+// KeyFor resolves a request's function/technology/options and returns
+// its canonical cache key. This is the routing key the cluster tier
+// hashes; it errors exactly when serving the request would produce a
+// typed bad-spec result.
+func (e *Engine) KeyFor(req Request) (string, error) {
+	f, tech, opts, _, err := e.resolve(req, false)
+	if err != nil {
+		return "", err
+	}
+	return core.CacheKey(f, tech, opts), nil
 }
 
 // New starts an engine.
@@ -199,6 +242,14 @@ func (e *Engine) synthKeyed(ctx context.Context, f truthtab.TT, tech core.Techno
 	key := core.CacheKey(f, tech, opts)
 	lookup := time.Now()
 	imp, err, hit := e.cache.getOrCompute(key, func() (*core.Implementation, error) {
+		// Cluster peer fill: a cold slot may be warm in the key owner's
+		// cache. Runs detached from the caller's context for the same
+		// reason the synthesis does — the flight's result is shared.
+		if fill := e.peerFill.Load(); fill != nil {
+			if imp := (*fill)(context.WithoutCancel(ctx), key); imp != nil {
+				return imp, nil
+			}
+		}
 		e.synthCalls.Add(1)
 		start := time.Now()
 		imp, err := core.SynthesizeCtx(context.WithoutCancel(ctx), f, tech, opts)
@@ -315,13 +366,20 @@ func (e *Engine) canceledResult(kind Kind, cause error) Result {
 	return errResult(kind, apierr.Canceled(cause))
 }
 
+// ShedRetryAfter is the back-off hint attached to every shed result:
+// long enough for a saturation spike to drain, short enough that
+// clients re-offer load promptly. It rides Result.Err in-process and
+// the wire error's retry_after_ms over HTTP, so both client shapes
+// observe the same hint.
+const ShedRetryAfter = time.Second
+
 // overloadedResult accounts a request shed at admission.
 func (e *Engine) overloadedResult(kind Kind) Result {
 	e.requests.Add(1)
 	e.failures.Add(1)
 	e.shed.Add(1)
-	return errResult(kind, apierr.Overloaded(
-		"engine: job queue saturated past the %v admission budget", e.maxQueueWait))
+	return errResult(kind, resilience.WithRetryAfter(apierr.Overloaded(
+		"engine: job queue saturated past the %v admission budget", e.maxQueueWait), ShedRetryAfter))
 }
 
 // run executes one request inline on the calling goroutine.

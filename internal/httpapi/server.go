@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"nanoxbar/internal/apierr"
+	"nanoxbar/internal/cluster"
 	"nanoxbar/internal/engine"
 	"nanoxbar/internal/resilience"
 	"nanoxbar/internal/telemetry"
@@ -54,6 +55,10 @@ type Server struct {
 	draining     atomic.Bool
 	panics       atomic.Uint64
 	drainRejects atomic.Uint64
+
+	// cluster, when joined via WithCluster, adds peer routes,
+	// ownership-based forwarding, and the cluster health/stats blocks.
+	cluster *cluster.Node
 }
 
 // New builds the production handler over eng. Every route is wrapped in
@@ -195,6 +200,21 @@ func (s *Server) handleSingle(def engine.Kind, also ...engine.Kind) http.Handler
 			writeError(w, http.StatusBadRequest, apierr.CodeBadSpec, "kind %q not served by %s", req.Kind, r.URL.Path)
 			return
 		}
+		// Cluster routing: a synthesis request whose cache key another
+		// node owns is forwarded there (once — the marker header stops
+		// forwarding loops under transiently disagreeing ring views).
+		// handled=false covers every local-serving outcome, including
+		// the typed local-degrade terminal of the failover ladder.
+		if s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+			if res, handled := s.cluster.RouteSynthesize(r.Context(), req); handled {
+				if !res.Ok() {
+					writeJSON(w, statusForResult(w, res), res)
+					return
+				}
+				writeJSON(w, http.StatusOK, res)
+				return
+			}
+		}
 		res := s.eng.DoCtx(r.Context(), req)
 		if !res.Ok() {
 			writeJSON(w, statusForResult(w, res), res)
@@ -282,11 +302,15 @@ type healthResponse struct {
 	Build         buildDetails `json:"build"`
 	Cache         healthCache  `json:"cache"`
 	Fault         healthFault  `json:"fault"`
+	// Cluster is present when the node serves in cluster mode. It is
+	// also the heartbeat payload: peers probe /healthz and read the
+	// membership view and the leaving flag from here.
+	Cluster *cluster.Status `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Build:         buildInfo(),
@@ -302,9 +326,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			DiesCheckedFast:     st.DiesCheckedFast,
 			DiesDemotedScalar:   st.DiesDemotedScalar,
 		},
-	})
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Status()
+		resp.Cluster = &cs
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clusterStats is /stats in cluster mode: the engine counters plus the
+// node's ring/membership/forwarding block.
+type clusterStats struct {
+	engine.Stats
+	Cluster cluster.Status `json:"cluster"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	st := s.eng.Stats()
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterStats{Stats: st, Cluster: s.cluster.Status()})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"nanoxbar/internal/apierr"
+	"nanoxbar/internal/cluster"
 	"nanoxbar/internal/engine"
 	"nanoxbar/internal/telemetry"
 	"nanoxbar/pkg/nanoxbar"
@@ -98,16 +99,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 	var errs int
 	var errMu sync.Mutex
-	var onDie func(req, die int, mr *engine.MapResult, err error)
-	if jobs.StreamDies {
-		onDie = func(req, die int, mr *engine.MapResult, err error) {
-			es.send(nanoxbar.Event{
-				Type: nanoxbar.EventDie, Index: req, Die: die,
-				DieMap: mr, DieError: nanoxbar.WireErrorFrom(err),
-			})
-		}
-	}
-	s.eng.SubmitStream(r.Context(), jobs.Requests, func(i int, res engine.Result) {
+	emit := func(i int, res engine.Result) {
 		if err := res.TypedErr(); err != nil {
 			errMu.Lock()
 			errs++
@@ -116,7 +108,56 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		es.send(nanoxbar.Event{Type: nanoxbar.EventResult, Index: i, Result: &res})
-	}, onDie)
+	}
+
+	// Cluster routing: synthesis requests in the batch take the same
+	// forward → failover → local-degrade ladder as /v1/synthesize, each
+	// on its own goroutine so a slow forward never stalls the local
+	// stream. Indices into the original batch are preserved, so frames
+	// interleave transparently. Everything else — and every request on
+	// an already-forwarded stream (loop marker) — runs locally.
+	submit := jobs.Requests
+	orig := make([]int, len(jobs.Requests))
+	for i := range orig {
+		orig[i] = i
+	}
+	var routeWG sync.WaitGroup
+	if s.cluster != nil && r.Header.Get(cluster.ForwardedHeader) == "" {
+		submit = submit[:0:0]
+		orig = orig[:0]
+		for i, req := range jobs.Requests {
+			if req.Kind != engine.KindSynthesize {
+				submit = append(submit, req)
+				orig = append(orig, i)
+				continue
+			}
+			routeWG.Add(1)
+			go func(i int, req engine.Request) {
+				defer routeWG.Done()
+				res, handled := s.cluster.RouteSynthesize(r.Context(), req)
+				if !handled {
+					res = s.eng.DoCtx(r.Context(), req)
+				}
+				emit(i, res)
+			}(i, req)
+		}
+	}
+
+	var onDie func(req, die int, mr *engine.MapResult, err error)
+	if jobs.StreamDies {
+		onDie = func(req, die int, mr *engine.MapResult, err error) {
+			es.send(nanoxbar.Event{
+				Type: nanoxbar.EventDie, Index: orig[req], Die: die,
+				DieMap: mr, DieError: nanoxbar.WireErrorFrom(err),
+			})
+		}
+	}
+	if len(submit) > 0 {
+		s.eng.SubmitStream(r.Context(), submit, func(i int, res engine.Result) {
+			emit(orig[i], res)
+		}, onDie)
+	}
+	routeWG.Wait()
 
 	es.send(nanoxbar.Event{Type: nanoxbar.EventDone, Done: &nanoxbar.JobsSummary{
 		Results: len(jobs.Requests), Errors: errs,

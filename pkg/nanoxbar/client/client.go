@@ -148,7 +148,7 @@ func (c *Client) statsOnce(ctx context.Context, st *nanoxbar.Stats) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeErrorBody(resp)
+		return c.decodeErrorBody(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
 		return nanoxbar.ErrorFromCode(nanoxbar.CodeInternal, err.Error())
@@ -237,7 +237,7 @@ func (c *Client) jobsOnce(ctx context.Context, payload []byte, handle func(nanox
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeErrorBody(resp)
+		return c.decodeErrorBody(resp)
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -300,7 +300,7 @@ func (c *Client) transportErr(ctx context.Context, err error) error {
 // the v1/middleware {"error":message,"code":code} flat form — and
 // attaches the Retry-After header (when present) as a backoff hint for
 // the resilience layer.
-func decodeErrorBody(resp *http.Response) error {
+func (c *Client) decodeErrorBody(resp *http.Response) error {
 	var raw struct {
 		Error json.RawMessage `json:"error"`
 		Code  string          `json:"code"`
@@ -317,5 +317,5 @@ func decodeErrorBody(resp *http.Response) error {
 			err = nanoxbar.ErrorFromCode(raw.Code, msg)
 		}
 	}
-	return withRetryAfterHint(resp, err)
+	return c.withRetryAfterHint(resp, err)
 }

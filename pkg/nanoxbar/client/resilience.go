@@ -156,13 +156,46 @@ func setDeadlineHeader(req *http.Request) {
 	}
 }
 
-// withRetryAfterHint attaches the response's Retry-After header (whole
-// seconds) to err so the retrier sleeps at least as long as the server
-// asked.
-func withRetryAfterHint(resp *http.Response, err error) error {
+// retryAfterHint parses a Retry-After header value per RFC 9110
+// §10.2.3, which allows two shapes: delta-seconds ("3") and an
+// HTTP-date ("Fri, 08 Aug 2026 01:02:03 GMT" — also the obsolete
+// RFC 850 and asctime forms, via http.ParseTime). now anchors the date
+// form; a date at or before now, like a non-positive delta, yields no
+// hint. The hint feeds the retrier's hint-as-floor logic: it can only
+// lengthen a backoff sleep, never shorten one.
+func retryAfterHint(value string, now time.Time) time.Duration {
+	if n, err := strconv.Atoi(value); err == nil {
+		if n <= 0 {
+			return 0
+		}
+		return time.Duration(n) * time.Second
+	}
+	t, err := http.ParseTime(value)
+	if err != nil {
+		return 0
+	}
+	if d := t.Sub(now); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// now reads the client's time source: the injected resilience clock
+// when resilience is configured (tests pin it with resilience.Fake),
+// the wall clock otherwise.
+func (c *Client) now() time.Time {
+	if c.res != nil {
+		return c.res.clock.Now()
+	}
+	return resilience.Wall().Now()
+}
+
+// withRetryAfterHint attaches the response's Retry-After header to err
+// so the retrier sleeps at least as long as the server asked.
+func (c *Client) withRetryAfterHint(resp *http.Response, err error) error {
 	if s := resp.Header.Get("Retry-After"); s != "" {
-		if n, perr := strconv.Atoi(s); perr == nil && n > 0 {
-			return resilience.WithRetryAfter(err, time.Duration(n)*time.Second)
+		if d := retryAfterHint(s, c.now()); d > 0 {
+			return resilience.WithRetryAfter(err, d)
 		}
 	}
 	return err

@@ -1,0 +1,89 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"nanoxbar/internal/engine"
+	"nanoxbar/internal/httpapi"
+	"nanoxbar/internal/resilience"
+	"nanoxbar/pkg/nanoxbar"
+	"nanoxbar/pkg/nanoxbar/client"
+)
+
+// dateFront synthesizes one 503 whose Retry-After is an HTTP-date
+// (RFC 9110's second form) before delegating — the date analog of
+// flakyFront.
+type dateFront struct {
+	backend http.Handler
+	date    time.Time
+	failed  bool
+}
+
+func (f *dateFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !f.failed {
+		f.failed = true
+		w.Header().Set("Retry-After", f.date.UTC().Format(http.TimeFormat))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"unavailable","message":"front: not ready"}}`))
+		return
+	}
+	f.backend.ServeHTTP(w, r)
+}
+
+// datedClient wires a real engine+server behind front with a fake
+// clock at the epoch (resilientClient's shape, for the date front).
+func datedClient(t *testing.T, front *dateFront, cfg client.ResilienceConfig) (*client.Client, *resilience.Fake) {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: 2, CacheSize: 16})
+	t.Cleanup(eng.Close)
+	front.backend = httpapi.New(eng)
+	ts := httptest.NewServer(front)
+	t.Cleanup(ts.Close)
+	fc := resilience.NewFake(time.Unix(0, 0))
+	cfg.Clock = fc
+	cl := client.New(ts.URL, client.WithResilience(cfg))
+	t.Cleanup(func() { cl.Close() })
+	return cl, fc
+}
+
+// TestClientRetryAfterHTTPDate: an HTTP-date Retry-After flows through
+// the same hint-as-floor logic as delta-seconds — the client sleeps
+// until the named instant instead of its (shorter) backoff. The fake
+// clock starts at the epoch, so a date 3s past the epoch is a 3s hint.
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	front := &dateFront{date: time.Unix(3, 0)}
+	cl, fc := datedClient(t, front, client.ResilienceConfig{
+		Retry: resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond},
+	})
+
+	if _, err := cl.Synthesize(context.Background(), nanoxbar.TT("2:0x6")); err != nil {
+		t.Fatalf("Synthesize after dated 503: %v", err)
+	}
+	sleeps := fc.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 3*time.Second {
+		t.Fatalf("sleeps = %v, want [3s] (date hint flooring 50ms backoff)", sleeps)
+	}
+}
+
+// TestClientRetryAfterPastDateFallsBack: a date at or before now is no
+// hint; the normal backoff schedule applies.
+func TestClientRetryAfterPastDateFallsBack(t *testing.T) {
+	front := &dateFront{date: time.Unix(0, 0)} // exactly "now" on the fake clock
+	cl, fc := datedClient(t, front, client.ResilienceConfig{
+		Retry: resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond},
+	})
+
+	if _, err := cl.Synthesize(context.Background(), nanoxbar.TT("2:0x6")); err != nil {
+		t.Fatalf("Synthesize after dated 503: %v", err)
+	}
+	sleeps := fc.Sleeps()
+	if len(sleeps) != 1 || sleeps[0] != 50*time.Millisecond {
+		t.Fatalf("sleeps = %v, want [50ms] (no hint from a stale date)", sleeps)
+	}
+}

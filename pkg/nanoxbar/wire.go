@@ -1,6 +1,11 @@
 package nanoxbar
 
-import "nanoxbar/internal/apierr"
+import (
+	"time"
+
+	"nanoxbar/internal/apierr"
+	"nanoxbar/internal/resilience"
+)
 
 // The v2 HTTP wire protocol. One endpoint carries every request kind:
 //
@@ -63,23 +68,38 @@ type Event struct {
 type WireError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterMs carries the server's back-off hint on sheddable
+	// failures (overloaded, unavailable) — the mid-stream analog of the
+	// Retry-After header, which cannot be attached to an individual
+	// NDJSON error frame after the 200 status has been sent.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Err reconstructs the typed error: errors.Is against the taxonomy
-// sentinels holds on the result.
+// sentinels holds on the result, and a retry-after hint round-trips
+// into resilience.RetryAfter.
 func (e *WireError) Err() error {
 	if e == nil {
 		return nil
 	}
-	return apierr.FromCode(e.Code, e.Message)
+	err := apierr.FromCode(e.Code, e.Message)
+	if e.RetryAfterMs > 0 {
+		err = resilience.WithRetryAfter(err, time.Duration(e.RetryAfterMs)*time.Millisecond)
+	}
+	return err
 }
 
-// WireErrorFrom projects a typed error into wire form (nil for nil).
+// WireErrorFrom projects a typed error into wire form (nil for nil),
+// carrying any resilience.RetryAfter hint along.
 func WireErrorFrom(err error) *WireError {
 	if err == nil {
 		return nil
 	}
-	return &WireError{Code: apierr.CodeOf(err), Message: err.Error()}
+	we := &WireError{Code: apierr.CodeOf(err), Message: err.Error()}
+	if d := resilience.RetryAfter(err); d > 0 {
+		we.RetryAfterMs = d.Milliseconds()
+	}
+	return we
 }
 
 // ErrorResponse is the non-streaming v2 error body:
